@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Documents and loaded systems are expensive; they are generated once per
+session and shared by all benches.  ``BENCH_FACTOR`` scales the XMark
+document (0.05 ~= 600 KB here vs the paper's 11.3 MB XMark11 — the
+*shape* of every comparison is scale-free, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.galax import GalaxEngine
+from repro.core.system import XQueCSystem
+from repro.xmark.generator import generate_xmark
+from repro.xmark.queries import XMARK_QUERIES
+
+BENCH_FACTOR = 0.05
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def xmark_text() -> str:
+    return generate_xmark(factor=BENCH_FACTOR, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def xquec_system(xmark_text) -> XQueCSystem:
+    """XQueC loaded the way the paper benchmarks it: with the XMark
+    query workload driving the compression configuration."""
+    queries = [text for _, text in XMARK_QUERIES.values()]
+    return XQueCSystem.load(xmark_text, workload_queries=queries)
+
+
+@pytest.fixture(scope="session")
+def xquec_default(xmark_text) -> XQueCSystem:
+    """XQueC under the no-workload defaults (§2.1)."""
+    return XQueCSystem.load(xmark_text)
+
+
+@pytest.fixture(scope="session")
+def galax_engine(xmark_text) -> GalaxEngine:
+    return GalaxEngine(xmark_text)

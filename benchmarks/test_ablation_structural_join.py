@@ -1,0 +1,72 @@
+"""Ablation A4 — 3-valued IDs: structural join vs parent-chain joins.
+
+The paper attributes its Figure 7 losses on Q2/Q3/Q16 to simple unique
+IDs ("our data model imposes a large number of parent-child joins")
+and expects "much better once XQueC will migrate to 3-valued IDs"
+(§5/§6).  We implemented that migration: the loader assigns
+``(pre, post, level)`` to every node, and
+:class:`repro.query.structural.StructuralJoin` pairs ancestors with
+descendants in one stack-tree merge pass.
+
+This ablation measures both strategies on an ancestor/descendant
+pairing over the XMark document.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table, record_result
+from repro.query.structural import navigation_pairs, structural_pairs
+
+
+@pytest.mark.benchmark(group="ablation-structural")
+def test_structural_vs_navigation_join(benchmark, xquec_default):
+    repository = xquec_default.repository
+    # Ancestors: every open_auction; descendants: every date element
+    # (bidder dates and interval bounds) — a Q2/Q3-flavoured pairing.
+    auctions = sorted({i for n in repository.summary.resolve(
+        [("descendant", "open_auction")]) for i in n.extent})
+    dates = sorted({i for n in repository.summary.resolve(
+        [("descendant", "date")]) for i in n.extent}
+        | {i for n in repository.summary.resolve(
+            [("descendant", "start")]) for i in n.extent})
+
+    structure = repository.structure
+    expected = sorted(navigation_pairs(structure, auctions, dates))
+    got = sorted(structural_pairs(structure, auctions, dates))
+    assert got == expected
+
+    start = time.perf_counter()
+    for _ in range(3):
+        structural_pairs(structure, auctions, dates)
+    structural_s = (time.perf_counter() - start) / 3
+    start = time.perf_counter()
+    for _ in range(3):
+        navigation_pairs(structure, auctions, dates)
+    navigation_s = (time.perf_counter() - start) / 3
+
+    benchmark.pedantic(
+        lambda: structural_pairs(structure, auctions, dates),
+        rounds=3, iterations=1)
+
+    table = format_table(
+        "Ablation A4 — structural join (3-valued IDs) vs parent-chain",
+        ["strategy", "seconds", "pairs"],
+        [("StructuralJoin (stack-tree merge)", structural_s,
+          len(got)),
+         ("parent-chain navigation (simple IDs)", navigation_s,
+          len(expected))],
+        note=f"{len(auctions)} ancestors x {len(dates)} descendants. "
+             "Finding: at XMark's shallow depth (<= 6) an in-memory "
+             "hash-set parent chain is competitive; the (pre, post, "
+             "level) merge wins on guarantees — one sequential pass, "
+             "no random parent lookups — which is what matters in the "
+             "paper's disk-resident setting (§6).")
+    record_result("ablation_structural_join", table)
+
+    # Both are linear-time here; the structural join must stay within
+    # a small constant factor while making no random accesses.
+    assert structural_s < max(navigation_s, 1e-4) * 20

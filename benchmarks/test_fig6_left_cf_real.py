@@ -1,0 +1,98 @@
+"""Figure 6 (left) — average compression factor on the real corpus.
+
+The paper compares XMill, XQueC, XPRESS and XGrind on Shakespeare,
+Washington-Course and Baseball.  Expected shape (paper):
+
+* XMill wins (opaque chunk compression, no queryability);
+* XQueC "closely tracks XPRESS";
+* XGrind is lowest among the four.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.xgrind import XGrindDocument
+from repro.baselines.xmill import XMillArchive
+from repro.baselines.xpress import XPressDocument
+from repro.bench.reporting import format_table, record_result
+from repro.core.system import XQueCSystem
+from repro.xmark.datasets import TABLE1_DATASETS
+from repro.util.stats import mean
+
+_SCALE = 0.04
+
+#: a small workload per dataset so XQueC compresses the way it is
+#: meant to be used (§3): queried containers queryable, the rest bzip2.
+_WORKLOADS = {
+    "Shakespeare": [
+        'for $s in /plays/play/act/scene/speech '
+        'where $s/speaker/text() = "JAMES" return $s/line/text()',
+        'for $p in /plays/play where $p/title/text() < "M" '
+        "return $p/title/text()",
+    ],
+    "WashingtonCourse": [
+        'for $c in /root/course where $c/credits/text() >= 4 '
+        "return $c/title/text()",
+        'for $c in /root/course where contains($c/instructor/text(), '
+        '"Smith") return $c/code/text()',
+    ],
+    "Baseball": [
+        "for $p in /season/team/player where $p/home_runs/text() > 20 "
+        "return $p/surname/text()",
+        'for $t in /season/team where $t/name/text() = "Hawks" '
+        "return count($t/player)",
+    ],
+}
+
+
+@pytest.mark.benchmark(group="fig6-left")
+def test_fig6_left_average_cf(benchmark):
+    def run():
+        per_system: dict[str, list[float]] = {
+            "XMill": [], "XQueC": [], "XPRESS": [], "XGrind": []}
+        rows = []
+        for name, (generator, _, _) in TABLE1_DATASETS.items():
+            text = generator(factor=_SCALE)
+            xmill = XMillArchive.compress(text).compression_factor
+            xquec = XQueCSystem.load(
+                text,
+                workload_queries=_WORKLOADS[name]).compression_factor
+            xpress = XPressDocument.compress(text).compression_factor
+            xgrind = XGrindDocument.compress(text).compression_factor
+            per_system["XMill"].append(xmill)
+            per_system["XQueC"].append(xquec)
+            per_system["XPRESS"].append(xpress)
+            per_system["XGrind"].append(xgrind)
+            rows.append((name, xmill, xquec, xpress, xgrind))
+        rows.append(("AVERAGE", *(mean(per_system[s]) for s in
+                                  ("XMill", "XQueC", "XPRESS",
+                                   "XGrind"))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Figure 6 (left) — average CF on the real-data corpus",
+        ["dataset", "XMill", "XQueC", "XPRESS", "XGrind"],
+        rows,
+        note="Shape check: XMill best; XQueC tracks XPRESS; both "
+             "query-aware systems trade CF for queryability.")
+    record_result("fig6_left_cf_real", table)
+
+    average = rows[-1]
+    xmill, xquec, xpress, xgrind = average[1:]
+    assert xmill > xquec, "XMill must beat the query-aware systems"
+    assert xmill > xpress
+    # XQueC within 15 CF points of XPRESS ("closely tracks"); our
+    # structure records and access structures cost more on the
+    # record-like datasets than the paper's Java/BDB layout did — see
+    # EXPERIMENTS.md.
+    assert abs(xquec - xpress) < 0.15
+    assert xquec > xgrind - 0.10
+    # On the prose-dominated dataset — the regime XQueC's value
+    # compression targets — it must beat XGrind outright.
+    shakespeare = rows[0]
+    assert shakespeare[2] > shakespeare[4]
+    for row in rows:
+        for cf in row[1:]:
+            assert 0.0 < cf < 1.0

@@ -1,0 +1,31 @@
+"""XQueC reproduction: efficient query evaluation over compressed XML.
+
+Reimplements Arion, Bonifati, Costa, D'Aguanno, Manolescu & Pugliese,
+*Efficient Query Evaluation over Compressed XML Data* (EDBT 2004) — the
+XQueC system — together with every substrate it depends on and the
+comparator systems of its evaluation.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import XQueCSystem
+    system = XQueCSystem.load(xml_text)
+    print(system.compression_factor)
+    print(system.query("/site/people/person/name/text()").items)
+"""
+
+from repro.core.system import XQueCSystem
+from repro.query.engine import QueryEngine, QueryResult
+from repro.storage.loader import load_document
+from repro.storage.repository import CompressedRepository
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedRepository",
+    "QueryEngine",
+    "QueryResult",
+    "XQueCSystem",
+    "load_document",
+    "__version__",
+]

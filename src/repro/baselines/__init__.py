@@ -1,0 +1,21 @@
+"""Comparator systems reimplemented from their published algorithms.
+
+* :mod:`repro.baselines.xmill` — XMill [7]: path-grouped containers
+  compressed as opaque chunks; best compression, no querying.
+* :mod:`repro.baselines.xgrind` — XGrind [4]: homomorphic Huffman
+  compression; top-down SAX-style path queries only.
+* :mod:`repro.baselines.xpress` — XPRESS [5]: reverse arithmetic
+  path-interval encoding + type-inferred value compression;
+  homomorphic, top-down evaluation.
+* :mod:`repro.baselines.galax` — stand-in for the optimized Galax [10]:
+  a deliberately naive in-memory XQuery evaluator over uncompressed
+  DOM (nested-loop joins, no caching) — the paper's QET comparator.
+"""
+
+from repro.baselines.galax import GalaxEngine
+from repro.baselines.xgrind import XGrindDocument
+from repro.baselines.xmill import XMillArchive
+from repro.baselines.xpress import XPressDocument
+
+__all__ = ["GalaxEngine", "XGrindDocument", "XMillArchive",
+           "XPressDocument"]

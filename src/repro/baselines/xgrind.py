@@ -1,0 +1,260 @@
+"""XGrind reimplementation [Tolani & Haritsa, ICDE 2002].
+
+XGrind is *homomorphic*: the compressed document is still a document —
+tags dictionary-encoded, each data value Huffman-compressed (one
+frequency model per element/attribute name) and left in place.  Its
+query processor is "an extended SAX parser" (paper §1.2): a fixed
+top-down scan of the whole compressed stream supporting exact-match and
+prefix-match predicates on compressed values, and range predicates by
+decompressing candidate values on the fly.  Joins, aggregations,
+nested queries and constructors are not supported — the limitation
+XQueC's algebra removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.base import CompressedValue
+from repro.compression.huffman import HuffmanCodec
+from repro.errors import UnsupportedFeatureError
+from repro.xmlio.events import (
+    Characters,
+    EndElement,
+    StartElement,
+    iter_events,
+)
+
+#: stream token kinds (homomorphic order preserved).
+_T_START = "s"
+_T_END = "e"
+_T_ATTR = "a"
+_T_TEXT = "t"
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    code: int = -1                     # tag/attribute dictionary code
+    value: CompressedValue | None = None
+
+
+class XGrindDocument:
+    """A homomorphically compressed document plus its SAX-style queries."""
+
+    def __init__(self, tokens: list[_Token], names: list[str],
+                 codecs: dict[int, HuffmanCodec], original_size: int):
+        self._tokens = tokens
+        self._names = names
+        self._codecs = codecs
+        self.original_size = original_size
+
+    @classmethod
+    def compress(cls, xml_text: str) -> "XGrindDocument":
+        """Two-pass compression: frequency collection, then encoding."""
+        names: list[str] = []
+        codes: dict[str, int] = {}
+
+        def intern(name: str) -> int:
+            code = codes.get(name)
+            if code is None:
+                code = len(names)
+                codes[name] = code
+                names.append(name)
+            return code
+
+        # Pass 1: group values by their element/attribute name.
+        training: dict[int, list[str]] = {}
+        element_stack: list[int] = []
+        for event in iter_events(xml_text):
+            if isinstance(event, StartElement):
+                code = intern(event.name)
+                element_stack.append(code)
+                for attr_name, attr_value in event.attributes:
+                    attr_code = intern("@" + attr_name)
+                    training.setdefault(attr_code, []).append(attr_value)
+            elif isinstance(event, EndElement):
+                element_stack.pop()
+            elif isinstance(event, Characters):
+                training.setdefault(element_stack[-1],
+                                    []).append(event.text)
+        codecs = {code: HuffmanCodec.train(values)
+                  for code, values in training.items()}
+        # Pass 2: emit the homomorphic token stream.
+        tokens: list[_Token] = []
+        element_stack = []
+        for event in iter_events(xml_text):
+            if isinstance(event, StartElement):
+                code = codes[event.name]
+                element_stack.append(code)
+                tokens.append(_Token(_T_START, code))
+                for attr_name, attr_value in event.attributes:
+                    attr_code = codes["@" + attr_name]
+                    tokens.append(_Token(
+                        _T_ATTR, attr_code,
+                        codecs[attr_code].encode(attr_value)))
+            elif isinstance(event, EndElement):
+                element_stack.pop()
+                tokens.append(_Token(_T_END))
+            elif isinstance(event, Characters):
+                code = element_stack[-1]
+                tokens.append(_Token(
+                    _T_TEXT, code, codecs[code].encode(event.text)))
+        return cls(tokens, names,
+                   codecs, len(xml_text.encode("utf-8")))
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def compressed_size(self) -> int:
+        """Stream bytes under XGrind's homomorphic ASCII format.
+
+        XGrind's output is itself a (semi-)textual document: start tags
+        become ``T<code>`` tokens (~2 bytes), end tags a one-byte
+        marker, attribute names ``A<code>`` tokens, and each value is a
+        type-marked, length-delimited Huffman payload (~3 bytes of
+        framing).  Source models (one frequency table per element or
+        attribute name) ship with the document.
+        """
+        size = 0
+        for token in self._tokens:
+            if token.kind == _T_START:
+                size += 2
+            elif token.kind == _T_END:
+                size += 1
+            elif token.kind == _T_ATTR:
+                size += 2
+            if token.value is not None:
+                size += token.value.nbytes + 3  # marker + length
+        size += sum(len(n.encode("utf-8")) + 1 for n in self._names)
+        size += sum(c.model_size_bytes() for c in self._codecs.values())
+        return size
+
+    @property
+    def compression_factor(self) -> float:
+        if self.original_size == 0:
+            return 0.0
+        return 1.0 - self.compressed_size / self.original_size
+
+    # -- querying (fixed top-down scan) --------------------------------------------
+
+    def query(self, path: str, op: str = "exists",
+              constant: str | None = None) -> list[str]:
+        """Evaluate a simple path query by scanning the whole stream.
+
+        ``path`` is ``/a/b/c`` or ``/a/b/@x`` (child steps only — the
+        naive top-down navigation XGrind implements).  ``op``:
+        ``exists``, ``=`` / ``startswith`` (compressed-domain), or
+        ``<``, ``<=``, ``>``, ``>=`` (decompresses every candidate).
+        Returns the decompressed matching values.
+        """
+        steps = [s for s in path.split("/") if s]
+        if not steps:
+            raise UnsupportedFeatureError("empty path")
+        if any(s == "*" or s == "" for s in steps):
+            raise UnsupportedFeatureError(
+                "XGrind supports plain child paths only")
+        target_attr = steps[-1].startswith("@")
+        element_steps = steps[:-1] if target_attr else steps
+        results: list[str] = []
+        stack: list[str] = []
+        for token in self._tokens:
+            if token.kind == _T_START:
+                stack.append(self._names[token.code])
+            elif token.kind == _T_END:
+                stack.pop()
+            elif token.kind == _T_ATTR and target_attr:
+                if stack == element_steps and \
+                        self._names[token.code] == steps[-1]:
+                    self._match(token, op, constant, results)
+            elif token.kind == _T_TEXT and not target_attr:
+                if stack == element_steps:
+                    self._match(token, op, constant, results)
+        return results
+
+    def _match(self, token: _Token, op: str, constant: str | None,
+               results: list[str]) -> None:
+        codec = self._codecs[token.code]
+        assert token.value is not None
+        if op == "exists":
+            results.append(codec.decode(token.value))
+            return
+        if constant is None:
+            raise UnsupportedFeatureError(f"{op} needs a constant")
+        if op == "=":
+            encoded = codec.try_encode(constant)
+            if encoded is not None and token.value == encoded:
+                results.append(constant)
+            return
+        if op == "startswith":
+            encoded = codec.try_encode(constant)
+            if encoded is not None and \
+                    token.value.starts_with(encoded):
+                results.append(codec.decode(token.value))
+            return
+        if op in ("<", "<=", ">", ">="):
+            # Range predicates run on *decompressed* values (paper §1.2).
+            value = codec.decode(token.value)
+            if _ordered(op, value, constant):
+                results.append(value)
+            return
+        raise UnsupportedFeatureError(
+            f"XGrind cannot evaluate {op!r} (joins, aggregates and "
+            f"nested queries are unsupported)")
+
+    def unsupported(self, feature: str) -> None:
+        """Document the system's limits explicitly (used by benches)."""
+        raise UnsupportedFeatureError(
+            f"XGrind does not support {feature}")
+
+    # -- decompression (homomorphism makes this a stream replay) ----------
+
+    def decompress(self) -> str:
+        """Reconstruct the document — the payoff of homomorphism."""
+        from repro.xmlio.escape import escape_attribute, escape_text
+        out: list[str] = []
+        stack: list[str] = []
+        open_tag: bool = False
+        for token in self._tokens:
+            if token.kind == _T_START:
+                if open_tag:
+                    out.append(">")
+                name = self._names[token.code]
+                out.append(f"<{name}")
+                stack.append(name)
+                open_tag = True
+            elif token.kind == _T_ATTR:
+                name = self._names[token.code][1:]
+                assert token.value is not None
+                value = self._codecs[token.code].decode(token.value)
+                out.append(f' {name}="{escape_attribute(value)}"')
+            elif token.kind == _T_TEXT:
+                if open_tag:
+                    out.append(">")
+                    open_tag = False
+                assert token.value is not None
+                value = self._codecs[token.code].decode(token.value)
+                out.append(escape_text(value))
+            elif token.kind == _T_END:
+                name = stack.pop()
+                if open_tag:
+                    out.append("/>")
+                    open_tag = False
+                else:
+                    out.append(f"</{name}>")
+        return "".join(out)
+
+
+def _ordered(op: str, a: str, b: str) -> bool:
+    try:
+        x, y = float(a), float(b)
+        a, b = x, y  # numeric when both parse
+    except ValueError:
+        pass
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    return a >= b

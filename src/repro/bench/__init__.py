@@ -1,0 +1,5 @@
+"""Benchmark support: experiment registry and table formatting."""
+
+from repro.bench.reporting import format_table, record_result
+
+__all__ = ["format_table", "record_result"]

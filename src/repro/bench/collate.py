@@ -1,0 +1,69 @@
+"""Collate recorded experiment tables into one report.
+
+``python -m repro.bench.collate`` gathers every
+``benchmarks/results/*.txt`` produced by the benchmark suite into
+``benchmarks/results/INDEX.md`` — the regenerated companion of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.reporting import RESULTS_DIR
+
+#: presentation order: paper artifacts first, then ablations/extras.
+_ORDER = (
+    "table1_datasets",
+    "fig6_left_cf_real",
+    "fig6_right_cf_xmark",
+    "fig7_qet",
+    "sec22_storage_occupancy",
+    "sec23_data_touched",
+    "sec23_peak_memory",
+    "sec33_partitioning",
+    "ablation_access_paths",
+    "ablation_compressed_predicates",
+    "ablation_structural_join",
+    "ablation_fulltext",
+    "ablation_search_quality",
+    "extra_queryaware_qet",
+)
+
+
+def collate(results_dir: Path | None = None) -> str:
+    """Build the combined report text from the recorded tables."""
+    directory = results_dir if results_dir is not None else RESULTS_DIR
+    recorded = {p.stem: p for p in sorted(directory.glob("*.txt"))}
+    sections: list[str] = [
+        "# Regenerated experiment tables",
+        "",
+        "Produced by `pytest benchmarks/ --benchmark-only`; see",
+        "EXPERIMENTS.md for the paper-vs-measured analysis.",
+        "",
+    ]
+    ordered = [name for name in _ORDER if name in recorded]
+    ordered += [name for name in sorted(recorded)
+                if name not in _ORDER]
+    for name in ordered:
+        sections.append("```")
+        sections.append(recorded[name].read_text(
+            encoding="utf-8").rstrip())
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write INDEX.md next to the recorded tables."""
+    directory = Path(argv[0]) if argv else RESULTS_DIR
+    report = collate(directory)
+    target = directory / "INDEX.md"
+    target.write_text(report, encoding="utf-8")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,49 @@
+"""Formatting and persistence of experiment outputs.
+
+Every benchmark prints the table/figure series it regenerates (in the
+same row/series layout the paper uses) and appends it to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote
+stable numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / \
+    "results"
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], note: str = "") -> str:
+    """Render one experiment table as aligned monospace text."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def record_result(experiment: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's system is used:
+
+* ``compress``   — XML file -> compressed repository (``.xqc``),
+  optionally workload-driven (one query per line in a file);
+* ``query``      — evaluate an XQuery over a repository;
+* ``stats``      — storage occupancy breakdown of a repository;
+* ``decompress`` — reconstruct the XML document from a repository;
+* ``xmlgen``     — generate an XMark auction document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.system import XQueCSystem
+from repro.errors import XQueCError
+from repro.query.context import EvaluationStats
+from repro.query.engine import QueryEngine
+from repro.storage.loader import load_document
+from repro.storage.serialization import load_repository, save_repository
+from repro.xmark.generator import generate_xmark
+from repro.xmlio.writer import serialize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XQueC: query evaluation over compressed XML "
+                    "(EDBT 2004 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compress = commands.add_parser(
+        "compress", help="compress an XML file into a repository")
+    compress.add_argument("input", type=Path, help="XML file")
+    compress.add_argument("output", type=Path,
+                          help="repository file (.xqc)")
+    compress.add_argument("--workload", type=Path, default=None,
+                          help="file with one XQuery per line driving "
+                               "the compression configuration")
+
+    query = commands.add_parser(
+        "query", help="evaluate an XQuery over a repository")
+    query.add_argument("repository", type=Path)
+    query.add_argument("xquery", help="the query text")
+    query.add_argument("--stats", action="store_true",
+                       help="print evaluation statistics")
+    query.add_argument("--explain", action="store_true",
+                       help="print the evaluation strategy first")
+
+    stats = commands.add_parser(
+        "stats", help="storage occupancy breakdown")
+    stats.add_argument("repository", type=Path)
+
+    decompress = commands.add_parser(
+        "decompress", help="reconstruct the XML document")
+    decompress.add_argument("repository", type=Path)
+    decompress.add_argument("output", type=Path, nargs="?",
+                            help="output file (stdout if omitted)")
+
+    xmlgen = commands.add_parser(
+        "xmlgen", help="generate an XMark auction document")
+    xmlgen.add_argument("--factor", type=float, default=0.01,
+                        help="scale factor (1.0 ~ 11 MB)")
+    xmlgen.add_argument("--seed", type=int, default=42)
+    xmlgen.add_argument("--output", type=Path, default=None,
+                        help="output file (stdout if omitted)")
+    return parser
+
+
+def main(argv: list[str] | None = None,
+         out=sys.stdout, err=sys.stderr) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "compress": _cmd_compress,
+        "query": _cmd_query,
+        "stats": _cmd_stats,
+        "decompress": _cmd_decompress,
+        "xmlgen": _cmd_xmlgen,
+    }
+    try:
+        return commands[args.command](args, out)
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename}", file=err)
+        return 1
+    except XQueCError as exc:
+        print(f"error: {exc}", file=err)
+        return 1
+
+
+def _cmd_compress(args, out) -> int:
+    xml_text = args.input.read_text(encoding="utf-8")
+    if args.workload is not None:
+        queries = [line.strip() for line in
+                   args.workload.read_text(encoding="utf-8").splitlines()
+                   if line.strip()]
+        system = XQueCSystem.load(xml_text, workload_queries=queries)
+        repository = system.repository
+        print(f"workload: {len(queries)} queries, "
+              f"{len(system.configuration.groups)} container groups",
+              file=out)
+    else:
+        repository = load_document(xml_text)
+    save_repository(repository, args.output)
+    report = repository.size_report()
+    print(f"compressed {report.original} -> {report.total} bytes "
+          f"(CF {report.compression_factor:.3f})", file=out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    repository = load_repository(args.repository)
+    engine = QueryEngine(repository)
+    if args.explain:
+        print("# plan:", file=out)
+        for line in engine.explain(args.xquery).splitlines():
+            print(f"#   {line}", file=out)
+    result = engine.execute(args.xquery)
+    print(result.to_xml(), file=out)
+    if args.stats:
+        stats = result.stats
+        print(f"# compressed comparisons: "
+              f"{stats.compressed_comparisons}", file=out)
+        print(f"# decompressions:         {stats.decompressions}",
+              file=out)
+        print(f"# summary accesses:       {stats.summary_accesses}",
+              file=out)
+        print(f"# container accesses:     {stats.container_accesses}",
+              file=out)
+        print(f"# hash joins:             {stats.hash_joins}",
+              file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    repository = load_repository(args.repository)
+    report = repository.size_report()
+    rows = [
+        ("name dictionary", report.name_dictionary),
+        ("structure records", report.structure_records),
+        ("B+ index", report.structure_index),
+        ("container data", report.container_data),
+        ("source models", report.source_models),
+        ("structure summary", report.summary),
+        ("total", report.total),
+        ("original document", report.original),
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"{name.ljust(width)}  {value:>12}", file=out)
+    print(f"{'compression factor'.ljust(width)}  "
+          f"{report.compression_factor:>12.3f}", file=out)
+    print(f"{'containers'.ljust(width)}  "
+          f"{len(repository.containers()):>12}", file=out)
+    print(f"{'nodes'.ljust(width)}  "
+          f"{len(repository.structure):>12}", file=out)
+    return 0
+
+
+def _cmd_decompress(args, out) -> int:
+    repository = load_repository(args.repository)
+    engine = QueryEngine(repository)
+    element = engine.materialize_node(0, EvaluationStats())
+    text = serialize(element)
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+    else:
+        print(text, file=out)
+    return 0
+
+
+def _cmd_xmlgen(args, out) -> int:
+    text = generate_xmark(factor=args.factor, seed=args.seed)
+    if args.output is not None:
+        args.output.write_text(text, encoding="utf-8")
+        print(f"wrote {len(text)} chars to {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Value-compression codecs.
+
+XQueC compresses each container value *individually* so that single values
+remain accessible and comparable without touching neighbours (§2.1).  Two
+families of codecs are provided, mirroring the paper:
+
+* order-agnostic: :class:`~repro.compression.huffman.HuffmanCodec`
+  (``eq`` and prefix-``wild`` in the compressed domain);
+* order-preserving: :class:`~repro.compression.alm.ALMCodec` (the paper's
+  choice), :class:`~repro.compression.hutucker.HuTuckerCodec` and
+  :class:`~repro.compression.arithmetic.ArithmeticCodec` (the alternatives
+  §2.1 weighs it against) — all supporting ``eq`` and ``ineq``.
+
+Blob codecs (:mod:`repro.compression.blob`) compress whole byte chunks and
+are used by the XMill baseline and for containers no query touches.
+"""
+
+from repro.compression.alm import ALMCodec
+from repro.compression.arithmetic import ArithmeticCodec
+from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.blob import BlobCodec, Bzip2Blob, ZlibBlob
+from repro.compression.huffman import HuffmanCodec
+from repro.compression.hutucker import HuTuckerCodec
+from repro.compression.numeric import FloatCodec, IntegerCodec
+from repro.compression.registry import (
+    available_codecs,
+    codec_class,
+    train_codec,
+)
+
+__all__ = [
+    "ALMCodec",
+    "ArithmeticCodec",
+    "BlobCodec",
+    "Bzip2Blob",
+    "Codec",
+    "CodecProperties",
+    "CompressedValue",
+    "FloatCodec",
+    "HuffmanCodec",
+    "HuTuckerCodec",
+    "IntegerCodec",
+    "ZlibBlob",
+    "available_codecs",
+    "codec_class",
+    "train_codec",
+]

@@ -1,0 +1,340 @@
+"""ALM dictionary-based order-preserving compression [Antoshenkov 1997].
+
+The codec the paper selects for XQueC's order-preserving compression
+(§2.1): dictionary-based, so decompression emits whole tokens at a time
+(faster than character-level Huffman), and order-preserving, so
+*inequality* predicates run in the compressed domain — the capability
+XGrind/XPRESS lack.
+
+The construction follows the paper's Figure 2.  A dictionary of tokens
+(all single characters seen in training, plus frequent multi-character
+substrings) is arranged in a trie by the prefix relation.  Because a
+token like ``the`` may be extended by another token like ``there``, naive
+per-token codes would break order (the *prefix property* problem §2.1
+describes).  ALM's fix: each token owns several *partitioning intervals*
+of the suffix space — the gaps around the zones of its extensions — and
+each interval gets its own symbol:
+
+    token   symbol  interval
+    the     c       [the aa, the rd]     (before ``there``'s zone)
+    there   d       [there, there...]
+    the     e       [the rf, the zz]     (after ``there``'s zone)
+
+Greedy longest-token segmentation then assigns every suffix to exactly
+one interval symbol, the global interval order is the suffix order, and
+an alphabetical prefix code over the symbols yields bit strings whose
+order equals string order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.compression.alphabetic import (
+    assign_alphabetic_codes,
+    weight_balanced_code_lengths,
+)
+from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.fastdecode import PrefixDecoder
+from repro.errors import CodecDomainError
+from repro.util.bits import BitWriter
+
+#: default cap on multi-character dictionary tokens.
+DEFAULT_MAX_TOKENS = 768
+#: n-gram lengths considered when mining tokens from training data.
+_NGRAM_LENGTHS = (2, 3, 4, 6, 8, 12, 16)
+#: cap on the number of training characters scanned for n-grams.
+_TRAINING_CHAR_BUDGET = 400_000
+
+
+def select_tokens(values: Iterable[str],
+                  max_tokens: int = DEFAULT_MAX_TOKENS) -> list[str]:
+    """Mine substrings worth a dictionary entry.
+
+    Two candidate families: words (with their trailing space — the
+    dominant repeated unit of natural-language containers) and short
+    character n-grams (record-like containers: dates, codes, names).
+    Candidates are scored by the characters they save,
+    ``(len - 1) * occurrences``, and the best ``max_tokens`` win.
+    """
+    word_counts: Counter = Counter()
+    ngram_counts: Counter = Counter()
+    budget = _TRAINING_CHAR_BUDGET
+    for value in values:
+        if budget <= 0:
+            break
+        budget -= len(value)
+        pieces = value.split(" ")
+        for i, piece in enumerate(pieces):
+            if not piece:
+                continue
+            if i + 1 < len(pieces):
+                word_counts[piece + " "] += 1
+            else:
+                word_counts[piece] += 1
+        for n in _NGRAM_LENGTHS:
+            if len(value) < n:
+                continue
+            for i in range(len(value) - n + 1):
+                ngram_counts[value[i:i + n]] += 1
+    scored = [((len(tok) - 1) * cnt, tok)
+              for tok, cnt in word_counts.items()
+              if cnt >= 2 and len(tok) > 1]
+    # Overlapping n-gram occurrences double-count the same characters;
+    # discount them so whole-word units win the budget on prose while
+    # record-like containers (dates, ids) still get their fragments.
+    scored += [((len(tok) - 1) * cnt * 0.1, tok)
+               for tok, cnt in ngram_counts.items()
+               if cnt >= 2 and len(tok) > 1 and tok not in word_counts]
+    scored.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [tok for _, tok in scored[:max_tokens]]
+
+
+class _TrieNode:
+    """Token-trie node; ``token_id >= 0`` marks a dictionary token."""
+
+    __slots__ = ("children", "token_id")
+
+    def __init__(self):
+        self.children: dict[str, _TrieNode] = {}
+        self.token_id = -1
+
+
+class ALMCodec(Codec):
+    """Order-preserving dictionary codec with interval symbols."""
+
+    name = "alm"
+    properties = CodecProperties(eq=True, ineq=True, wild=False)
+    # Token-at-a-time decoding: the fastest string decoder here (the
+    # property §2.1 cites for choosing ALM in a database setting).
+    decompression_cost = 0.5
+
+    def __init__(self, tokens: Sequence[str],
+                 symbol_weights: Sequence[float] | None = None):
+        """``tokens`` must include every character any value may contain."""
+        self._tokens = sorted(set(tokens))
+        if any(not t for t in self._tokens):
+            raise ValueError("empty token not allowed")
+        self._trie = self._build_trie(self._tokens)
+        self._extensions = {token: self._immediate_extensions(token)
+                            for token in self._tokens}
+        # ``_symbols`` lists (token, gap-boundary tokens) in global
+        # interval order; parallel arrays hold the codes.
+        self._symbols = self._build_symbols()
+        self._symbol_index = {key: i for i, (key, _)
+                              in enumerate(self._symbols)}
+        weights = (list(symbol_weights) if symbol_weights is not None
+                   else [1.0] * len(self._symbols))
+        if len(weights) != len(self._symbols):
+            raise ValueError("symbol weights must align with symbols")
+        self._weights = weights  # kept for model serialization
+        lengths = weight_balanced_code_lengths(weights)
+        codes = assign_alphabetic_codes(lengths)
+        self._codes = codes
+        self._decoder = PrefixDecoder({
+            (code, length): self._symbols[i][1]
+            for i, (code, length) in enumerate(codes)
+        })
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def _build_trie(tokens: Sequence[str]) -> _TrieNode:
+        root = _TrieNode()
+        for token_id, token in enumerate(tokens):
+            node = root
+            for ch in token:
+                node = node.children.setdefault(ch, _TrieNode())
+            node.token_id = token_id
+        return root
+
+    def _immediate_extensions(self, token: str) -> list[str]:
+        """Tokens whose longest proper token-prefix is ``token``."""
+        result: list[str] = []
+        node = self._trie
+        for ch in token:
+            node = node.children[ch]
+        # BFS below ``token``'s trie node, stopping at token marks.
+        stack = [(node, token)]
+        while stack:
+            current, text = stack.pop()
+            for ch, child in current.children.items():
+                extended = text + ch
+                if child.token_id >= 0:
+                    result.append(extended)
+                else:
+                    stack.append((child, extended))
+        result.sort()
+        return result
+
+    def _build_symbols(self):
+        """Global, ordered list of interval symbols.
+
+        Each symbol is ``((token, gap_index), token_text)``.  A DFS over
+        the token trie in alphabetical order interleaves each token's gap
+        intervals with its extensions' zones, producing the leaf-interval
+        order described in the module docstring.
+        """
+        symbols: list[tuple[tuple[str, int], str]] = []
+        roots = [t for t in self._tokens
+                 if len(t) == 1 or not self._has_token_prefix(t)]
+        roots.sort()
+
+        def emit(token: str) -> None:
+            extensions = self._extensions[token]
+            symbols.append(((token, 0), token))
+            for gap, extension in enumerate(extensions, start=1):
+                emit(extension)
+                symbols.append(((token, gap), token))
+
+        for root in roots:
+            emit(root)
+        return symbols
+
+    def _has_token_prefix(self, token: str) -> bool:
+        node = self._trie
+        for ch in token[:-1]:
+            node = node.children.get(ch)
+            if node is None:
+                return False
+            if node.token_id >= 0:
+                return True
+        return False
+
+    @classmethod
+    def from_code_lengths(cls, tokens: Sequence[str],
+                          lengths: Sequence[int]) -> "ALMCodec":
+        """Rebuild a codec from its serialized model: the token list
+        plus one alphabetic code length per interval symbol.
+
+        Bypasses the weight-balancing step entirely, so the code
+        assignment — and therefore every encoding — is bit-identical
+        to the codec the lengths were read from.
+        """
+        codec = cls(tokens)
+        if len(lengths) != len(codec._symbols):
+            raise ValueError(
+                f"expected {len(codec._symbols)} code lengths, got "
+                f"{len(lengths)}")
+        codes = assign_alphabetic_codes(list(lengths))
+        codec._codes = codes
+        codec._decoder = PrefixDecoder({
+            (code, length): codec._symbols[i][1]
+            for i, (code, length) in enumerate(codes)
+        })
+        return codec
+
+    def code_lengths(self) -> list[int]:
+        """Per-symbol code lengths, in symbol order (the model)."""
+        return [length for _, length in self._codes]
+
+    @classmethod
+    def train(cls, values: Iterable[str],
+              max_tokens: int = DEFAULT_MAX_TOKENS) -> "ALMCodec":
+        materialized = list(values)
+        alphabet = {ch for value in materialized for ch in value}
+        # A dictionary entry must earn back its source-model bytes:
+        # scale the dictionary with the training volume.
+        total_chars = sum(len(v) for v in materialized)
+        budget = min(max_tokens, max(8, total_chars // 24))
+        tokens = sorted(alphabet | set(select_tokens(materialized,
+                                                     budget)))
+        if not tokens:
+            return cls([chr(0)])
+        untrained = cls(tokens)
+        # Second pass: count symbol occurrences to weight the code.
+        counts = [1.0] * len(untrained._symbols)
+        for value in materialized:
+            for symbol_id in untrained._segment(value):
+                counts[symbol_id] += 1.0
+        return cls(tokens, counts)
+
+    # -- encoding ---------------------------------------------------------
+
+    def _longest_match(self, text: str, start: int) -> str:
+        """Longest dictionary token that prefixes ``text[start:]``."""
+        node = self._trie
+        best_end = -1
+        i = start
+        n = len(text)
+        while i < n:
+            node = node.children.get(text[i])
+            if node is None:
+                break
+            i += 1
+            if node.token_id >= 0:
+                best_end = i
+        if best_end < 0:
+            raise CodecDomainError(
+                f"character {text[start]!r} absent from ALM dictionary")
+        return text[start:best_end]
+
+    def _gap_index(self, token: str, suffix: str) -> int:
+        """Which of ``token``'s gap intervals contains ``suffix``.
+
+        ``suffix`` starts with ``token`` and, because ``token`` was the
+        longest match, extends none of ``token``'s extensions — so plain
+        string comparison against each extension places it cleanly.
+        """
+        gap = 0
+        for extension in self._extensions[token]:
+            if suffix > extension and not suffix.startswith(extension):
+                gap += 1
+            else:
+                break
+        return gap
+
+    def _segment(self, value: str):
+        """Yield the interval-symbol id sequence for ``value``."""
+        pos = 0
+        n = len(value)
+        index = self._symbol_index
+        while pos < n:
+            token = self._longest_match(value, pos)
+            gap = self._gap_index(token, value[pos:])
+            yield index[(token, gap)]
+            pos += len(token)
+
+    def encode(self, value: str) -> CompressedValue:
+        writer = BitWriter()
+        codes = self._codes
+        for symbol_id in self._segment(value):
+            code, length = codes[symbol_id]
+            writer.write_bits(code, length)
+        return CompressedValue(writer.getvalue(), writer.bit_length)
+
+    def decode(self, compressed: CompressedValue) -> str:
+        return "".join(self._decoder.decode(compressed))
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def tokens(self) -> list[str]:
+        """The dictionary tokens, sorted."""
+        return list(self._tokens)
+
+    @property
+    def symbol_count(self) -> int:
+        """Number of interval symbols (>= number of tokens)."""
+        return len(self._symbols)
+
+    def model_size_bytes(self) -> int:
+        """Serialized dictionary size.
+
+        Tokens are stored sorted and *front-coded* (shared-prefix
+        length + suffix — the standard dictionary layout); interval
+        symbols reference tokens by id and add one code-length byte
+        each.
+        """
+        size = 0
+        previous = ""
+        for token in self._tokens:
+            lcp = 0
+            limit = min(len(previous), len(token))
+            while lcp < limit and previous[lcp] == token[lcp]:
+                lcp += 1
+            size += 2 + len(token[lcp:].encode("utf-8"))
+            previous = token
+        size += len(self._symbols)  # one code-length byte per symbol
+        return size

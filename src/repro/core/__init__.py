@@ -1,0 +1,5 @@
+"""The XQueC system facade (the paper's primary contribution)."""
+
+from repro.core.system import XQueCSystem
+
+__all__ = ["XQueCSystem"]

@@ -1,0 +1,33 @@
+"""Workload-driven compression configuration (paper §3).
+
+XQueC is the first system to exploit the query workload to (i) partition
+the containers into sets sharing a source model and (ii) assign each set
+the most suitable compression algorithm.  This package implements:
+
+* :mod:`repro.partitioning.config` — the configuration ``<P, alg>``;
+* :mod:`repro.partitioning.similarity` — the similarity matrix ``F``;
+* :mod:`repro.partitioning.workload` — predicates and the E/I/D
+  comparison-count matrices;
+* :mod:`repro.partitioning.cost` — the §3.2 cost function;
+* :mod:`repro.partitioning.search` — the §3.3 greedy strategy.
+"""
+
+from repro.partitioning.config import (
+    CompressionConfiguration,
+    ContainerGroup,
+)
+from repro.partitioning.cost import ContainerProfile, CostModel
+from repro.partitioning.search import greedy_search
+from repro.partitioning.similarity import similarity_matrix
+from repro.partitioning.workload import Predicate, Workload
+
+__all__ = [
+    "CompressionConfiguration",
+    "ContainerGroup",
+    "ContainerProfile",
+    "CostModel",
+    "Predicate",
+    "Workload",
+    "greedy_search",
+    "similarity_matrix",
+]

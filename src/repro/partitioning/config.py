@@ -1,0 +1,105 @@
+"""Compression configurations: ``s = <P, alg>`` (paper §3.1).
+
+``P`` partitions the textual containers; ``alg`` maps every set of the
+partition to one algorithm.  All containers in a set share one source
+model — the crux of the storage-vs-decompression trade-off the cost
+model navigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ContainerGroup:
+    """One set of the partition plus its assigned algorithm."""
+
+    container_paths: tuple[str, ...]
+    algorithm: str
+
+    def __post_init__(self):
+        if not self.container_paths:
+            raise ValueError("a container group cannot be empty")
+
+    def __contains__(self, path: str) -> bool:
+        return path in self.container_paths
+
+
+@dataclass
+class CompressionConfiguration:
+    """A full configuration: disjoint groups covering the containers."""
+
+    groups: list[ContainerGroup] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen: set[str] = set()
+        for group in self.groups:
+            for path in group.container_paths:
+                if path in seen:
+                    raise ValueError(
+                        f"container {path!r} appears in two groups")
+                seen.add(path)
+
+    @classmethod
+    def singletons(cls, paths: list[str], algorithm: str
+                   ) -> "CompressionConfiguration":
+        """The §3.3 initial configuration ``s_0``: one container per
+        set, one generic algorithm (e.g. bzip) everywhere."""
+        return cls(groups=[ContainerGroup((p,), algorithm)
+                           for p in paths])
+
+    def group_of(self, path: str) -> ContainerGroup | None:
+        """The group containing ``path``, or ``None``."""
+        for group in self.groups:
+            if path in group:
+                return group
+        return None
+
+    def algorithm_of(self, path: str) -> str | None:
+        """Algorithm assigned to ``path``'s group, or ``None``."""
+        group = self.group_of(path)
+        return None if group is None else group.algorithm
+
+    def paths(self) -> list[str]:
+        """All container paths covered, sorted."""
+        return sorted(p for g in self.groups for p in g.container_paths)
+
+    # -- configuration moves (used by the greedy search, §3.3) -------------
+
+    def with_algorithm(self, group: ContainerGroup, algorithm: str
+                       ) -> "CompressionConfiguration":
+        """Copy with ``group``'s algorithm replaced."""
+        groups = [ContainerGroup(g.container_paths, algorithm)
+                  if g is group else g for g in self.groups]
+        return CompressionConfiguration(groups)
+
+    def with_pair_extracted(self, path_a: str, path_b: str,
+                            algorithm: str) -> "CompressionConfiguration":
+        """Copy with {a, b} pulled out of their groups into a new set."""
+        groups: list[ContainerGroup] = []
+        for group in self.groups:
+            rest = tuple(p for p in group.container_paths
+                         if p not in (path_a, path_b))
+            if rest:
+                groups.append(ContainerGroup(rest, group.algorithm))
+        groups.append(ContainerGroup((path_a, path_b), algorithm))
+        return CompressionConfiguration(groups)
+
+    def with_groups_merged(self, group_a: ContainerGroup,
+                           group_b: ContainerGroup, algorithm: str
+                           ) -> "CompressionConfiguration":
+        """Copy with the two groups replaced by their union."""
+        if group_a is group_b:
+            raise ValueError("cannot merge a group with itself")
+        groups = [g for g in self.groups
+                  if g is not group_a and g is not group_b]
+        merged = ContainerGroup(
+            group_a.container_paths + group_b.container_paths, algorithm)
+        groups.append(merged)
+        return CompressionConfiguration(groups)
+
+    def __repr__(self) -> str:
+        inner = "; ".join(
+            f"{g.algorithm}{list(g.container_paths)}" for g in self.groups)
+        return f"<Configuration {inner}>"

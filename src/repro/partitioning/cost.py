@@ -1,0 +1,221 @@
+"""The §3.2 cost function for compression configurations.
+
+The cost of a configuration ``s = <P, alg>`` is a weighted sum of
+
+* **storage costs** — container records (``c_s``) and source-model
+  structures (``c_a``), estimated per group from the *merged* character
+  distribution of its members: grouping dissimilar containers raises the
+  shared model's entropy and therefore the estimate, which is exactly
+  the paper's two-container a/b-vs-c/d example; and
+* **decompression costs** — derived from the E/I/D matrices: a matrix
+  entry costs nothing iff both sides share a source model *and* the
+  group's algorithm supports the predicate kind in the compressed
+  domain; otherwise the involved containers must be decompressed, at the
+  algorithm's per-record rate ``d_c``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import math
+
+import numpy as np
+
+from repro.compression.registry import codec_class
+from repro.partitioning.config import CompressionConfiguration
+from repro.partitioning.workload import PREDICATE_KINDS, Workload
+
+#: estimated bits/char relative to the merged entropy H, per algorithm.
+#: (slope, intercept): bits/char ~= slope * H + intercept.
+_BITS_PER_CHAR = {
+    "huffman": (1.0, 0.5),
+    "hutucker": (1.0, 1.0),
+    "arithmetic": (1.0, 0.05),
+    "alm": (0.75, 0.0),     # dictionary tokens beat the char-level bound
+    "bzip2": (0.45, 0.0),   # context modelling, but no record access
+    "zlib": (0.55, 0.0),
+}
+#: extra source-model bytes beyond the per-character table.
+_MODEL_OVERHEAD = {"alm": 1536, "arithmetic": 64}
+
+
+@dataclass
+class ContainerProfile:
+    """Data statistics of one container, input to the cost model."""
+
+    path: str
+    count: int
+    total_chars: int
+    char_counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_values(cls, path: str, values: Sequence[str]
+                    ) -> "ContainerProfile":
+        counts: Counter = Counter()
+        total = 0
+        for value in values:
+            counts.update(value)
+            total += len(value)
+        return cls(path=path, count=len(values), total_chars=total,
+                   char_counts=counts)
+
+    def entropy_bits(self) -> float:
+        """Per-character Shannon entropy of this container."""
+        return _entropy(self.char_counts)
+
+
+def _entropy(counts: Counter) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for n in counts.values():
+        p = n / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+class CostModel:
+    """Evaluates configurations against profiles and a workload."""
+
+    def __init__(self, profiles: Sequence[ContainerProfile],
+                 workload: Workload,
+                 storage_weight: float = 1.0,
+                 decompression_weight: float = 1.0,
+                 similarity: np.ndarray | None = None):
+        self._profiles = {p.path: p for p in profiles}
+        self._paths = [p.path for p in profiles]
+        self._index = {path: i for i, path in enumerate(self._paths)}
+        self._matrices = workload.matrices(self._paths)
+        self._storage_weight = storage_weight
+        self._decompression_weight = decompression_weight
+        #: F is accepted for interface fidelity; the entropy of merged
+        #: character distributions subsumes its effect on storage here.
+        self._similarity = similarity
+
+    @property
+    def paths(self) -> list[str]:
+        """Container paths in matrix-index order."""
+        return list(self._paths)
+
+    # -- storage ------------------------------------------------------------
+
+    def storage_cost(self, configuration: CompressionConfiguration
+                     ) -> float:
+        """Container-record bytes (``c_s``) summed over all groups."""
+        total = 0.0
+        for group in configuration.groups:
+            members = [self._profiles[p] for p in group.container_paths
+                       if p in self._profiles]
+            if not members:
+                continue
+            merged: Counter = Counter()
+            for profile in members:
+                merged.update(profile.char_counts)
+            slope, intercept = _BITS_PER_CHAR.get(
+                group.algorithm, (1.0, 1.0))
+            bits_per_char = slope * _entropy(merged) + intercept
+            for profile in members:
+                total += bits_per_char * profile.total_chars / 8.0
+                total += 4.0 * profile.count  # parent pointers
+        return total
+
+    def model_cost(self, configuration: CompressionConfiguration) -> float:
+        """Source-model bytes (``c_a``): one shared model per group."""
+        total = 0.0
+        for group in configuration.groups:
+            members = [self._profiles[p] for p in group.container_paths
+                       if p in self._profiles]
+            if not members:
+                continue
+            merged: Counter = Counter()
+            for profile in members:
+                merged.update(profile.char_counts)
+            total += 3.0 * len(merged)
+            total += _MODEL_OVERHEAD.get(group.algorithm, 0)
+        return total
+
+    # -- decompression --------------------------------------------------------
+
+    def decompression_cost(self, configuration: CompressionConfiguration
+                           ) -> float:
+        """The §3.2 case analysis summed over E, I and D."""
+        total = 0.0
+        n = len(self._paths)
+        for kind in PREDICATE_KINDS:
+            matrix = self._matrices[kind]
+            for i in range(n + 1):
+                for j in range(i, n + 1):
+                    entries = int(matrix[i, j])
+                    if entries == 0:
+                        continue
+                    total += entries * self._entry_cost(
+                        configuration, kind, i, j, n)
+        return total
+
+    def _entry_cost(self, configuration: CompressionConfiguration,
+                    kind: str, i: int, j: int, n: int) -> float:
+        if i == n and j == n:
+            return 0.0  # constant-constant never touches containers
+        if j == n or i == j:
+            # Comparison with a constant, or a self-comparison: only one
+            # container's records are at stake (the paper's adjustment).
+            path = self._paths[i if i != n else j]
+            algorithm = configuration.algorithm_of(path)
+            if algorithm is None:
+                return 0.0
+            if _supports(algorithm, kind):
+                return 0.0
+            return self._records(path) * _d_c(algorithm)
+        path_i, path_j = self._paths[i], self._paths[j]
+        group_i = configuration.group_of(path_i)
+        group_j = configuration.group_of(path_j)
+        if group_i is None or group_j is None:
+            return 0.0
+        if group_i is group_j:
+            if _supports(group_i.algorithm, kind):
+                return 0.0  # shared model + supported predicate
+            # case (iii): shared model, unsupported comparison
+            d_c = _d_c(group_i.algorithm)
+            return (self._records(path_i) + self._records(path_j)) * d_c
+        # cases (i)/(ii): different algorithms or different source models
+        return (self._records(path_i) * _d_c(group_i.algorithm)
+                + self._records(path_j) * _d_c(group_j.algorithm))
+
+    def _records(self, path: str) -> float:
+        profile = self._profiles[path]
+        # Decompression effort scales with record count and record size.
+        average_chars = (profile.total_chars / profile.count
+                         if profile.count else 0.0)
+        return profile.count * max(average_chars, 1.0)
+
+    # -- total -----------------------------------------------------------------
+
+    def cost(self, configuration: CompressionConfiguration) -> float:
+        """Weighted total cost of a configuration."""
+        storage = (self.storage_cost(configuration)
+                   + self.model_cost(configuration))
+        return (self._storage_weight * storage
+                + self._decompression_weight
+                * self.decompression_cost(configuration))
+
+    def breakdown(self, configuration: CompressionConfiguration
+                  ) -> dict[str, float]:
+        """Component costs, for reports and tests."""
+        return {
+            "storage": self.storage_cost(configuration),
+            "models": self.model_cost(configuration),
+            "decompression": self.decompression_cost(configuration),
+            "total": self.cost(configuration),
+        }
+
+
+def _supports(algorithm: str, kind: str) -> bool:
+    return codec_class(algorithm).properties.supports(kind)
+
+
+def _d_c(algorithm: str) -> float:
+    return codec_class(algorithm).decompression_cost

@@ -1,0 +1,179 @@
+"""The §3.3 greedy search over compression configurations.
+
+The search space (all partitions of the containers crossed with all
+algorithm assignments) has size ``sum_i |A|^|P_i|`` over the Bell-number
+many partitions — exponential, so the paper moves greedily:
+
+* start from ``s_0``: every container alone, a generic algorithm
+  (bzip) everywhere;
+* draw the workload's predicates in random order; for each predicate
+  over containers ``ct_i``/``ct_j``, build the candidate *moves* —
+  switch the (shared) group's algorithm to one enabling the predicate,
+  or, across two groups, either extract ``{ct_i, ct_j}`` into a fresh
+  set or merge the two groups — and keep whichever of the candidates
+  (including the current configuration) costs least.
+
+Each predicate explores a constant number of moves, so the strategy is
+linear in ``|Pred|`` and yields a locally optimal configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.compression.registry import codec_class
+from repro.partitioning.config import CompressionConfiguration
+from repro.partitioning.cost import ContainerProfile, CostModel
+from repro.partitioning.workload import Workload
+
+#: the algorithm set the paper's system actually chooses among.
+DEFAULT_ALGORITHMS = ("alm", "huffman", "bzip2")
+#: the §3.3 "generic compression algorithm (e.g. bzip)" for ``s_0``.
+DEFAULT_INITIAL_ALGORITHM = "bzip2"
+
+
+def choose_enabling_algorithm(kind: str,
+                              algorithms: Sequence[str]) -> str | None:
+    """Best algorithm evaluating ``kind`` in the compressed domain.
+
+    Following §3.3: among the enabling algorithms, prefer the one with
+    the greatest number of algorithmic properties holding true; break
+    ties by cheaper decompression.  ``None`` when nothing enables it.
+    """
+    candidates = [name for name in algorithms
+                  if codec_class(name).properties.supports(kind)]
+    if not candidates:
+        return None
+    return max(candidates,
+               key=lambda name: (codec_class(name).properties.count_true(),
+                                 -codec_class(name).decompression_cost))
+
+
+def greedy_search(profiles: Sequence[ContainerProfile],
+                  workload: Workload,
+                  algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                  initial_algorithm: str = DEFAULT_INITIAL_ALGORITHM,
+                  seed: int = 0,
+                  storage_weight: float = 1.0,
+                  decompression_weight: float = 1.0,
+                  ) -> tuple[CompressionConfiguration, float]:
+    """Run the greedy strategy; returns (configuration, its cost)."""
+    model = CostModel(profiles, workload,
+                      storage_weight=storage_weight,
+                      decompression_weight=decompression_weight)
+    known = set(model.paths)
+    configuration = CompressionConfiguration.singletons(
+        model.paths, initial_algorithm)
+    current_cost = model.cost(configuration)
+
+    predicates = [p for p in workload
+                  if all(path in known for path in p.paths())]
+    rng = random.Random(seed)
+    rng.shuffle(predicates)
+
+    for predicate in predicates:
+        enabling = choose_enabling_algorithm(predicate.kind, algorithms)
+        if enabling is None:
+            continue
+        candidates: list[CompressionConfiguration] = []
+        if predicate.right_path is None \
+                or predicate.right_path == predicate.left_path:
+            group = configuration.group_of(predicate.left_path)
+            assert group is not None
+            if group.algorithm != enabling:
+                candidates.append(
+                    configuration.with_algorithm(group, enabling))
+        else:
+            group_i = configuration.group_of(predicate.left_path)
+            group_j = configuration.group_of(predicate.right_path)
+            assert group_i is not None and group_j is not None
+            if group_i is group_j:
+                if group_i.algorithm != enabling:
+                    candidates.append(
+                        configuration.with_algorithm(group_i, enabling))
+            else:
+                candidates.append(configuration.with_pair_extracted(
+                    predicate.left_path, predicate.right_path, enabling))
+                candidates.append(configuration.with_groups_merged(
+                    group_i, group_j, enabling))
+        for candidate in candidates:
+            candidate_cost = model.cost(candidate)
+            if candidate_cost < current_cost:
+                configuration = candidate
+                current_cost = candidate_cost
+    return configuration, current_cost
+
+
+def annealing_search(profiles: Sequence[ContainerProfile],
+                     workload: Workload,
+                     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                     initial_algorithm: str = DEFAULT_INITIAL_ALGORITHM,
+                     seed: int = 0,
+                     iterations: int = 400,
+                     initial_temperature: float = 0.08,
+                     storage_weight: float = 1.0,
+                     decompression_weight: float = 1.0,
+                     ) -> tuple[CompressionConfiguration, float]:
+    """Simulated-annealing exploration of the configuration space.
+
+    The paper notes its greedy explores "a fixed subset of possible
+    configuration moves" and "yields a locally optimal solution"
+    (§3.3).  This alternative accepts occasional uphill moves —
+    random algorithm switches, pair extractions and group merges — at
+    a geometrically cooling temperature, escaping the greedy's local
+    optima at the price of more cost evaluations.  Returns the best
+    configuration visited.
+    """
+    model = CostModel(profiles, workload,
+                      storage_weight=storage_weight,
+                      decompression_weight=decompression_weight)
+    paths = model.paths
+    if not paths:
+        empty = CompressionConfiguration.singletons([],
+                                                    initial_algorithm)
+        return empty, model.cost(empty)
+    rng = random.Random(seed)
+    current = CompressionConfiguration.singletons(paths,
+                                                  initial_algorithm)
+    current_cost = model.cost(current)
+    best, best_cost = current, current_cost
+    temperature = initial_temperature * max(current_cost, 1.0)
+
+    for _ in range(iterations):
+        candidate = _random_move(current, paths, algorithms, rng)
+        if candidate is None:
+            continue
+        candidate_cost = model.cost(candidate)
+        delta = candidate_cost - current_cost
+        if delta <= 0 or (temperature > 0 and
+                          rng.random() < math.exp(-delta / temperature)):
+            current, current_cost = candidate, candidate_cost
+            if current_cost < best_cost:
+                best, best_cost = current, current_cost
+        temperature *= 0.99
+    return best, best_cost
+
+
+def _random_move(configuration: CompressionConfiguration,
+                 paths: Sequence[str], algorithms: Sequence[str],
+                 rng: random.Random
+                 ) -> CompressionConfiguration | None:
+    """One random neighbouring configuration, or ``None`` if no-op."""
+    move = rng.randrange(3)
+    if move == 0:  # switch a group's algorithm
+        group = rng.choice(configuration.groups)
+        algorithm = rng.choice(list(algorithms))
+        if algorithm == group.algorithm:
+            return None
+        return configuration.with_algorithm(group, algorithm)
+    if move == 1 and len(paths) >= 2:  # extract a random pair
+        path_a, path_b = rng.sample(list(paths), 2)
+        return configuration.with_pair_extracted(
+            path_a, path_b, rng.choice(list(algorithms)))
+    if len(configuration.groups) >= 2:  # merge two random groups
+        group_a, group_b = rng.sample(configuration.groups, 2)
+        return configuration.with_groups_merged(
+            group_a, group_b, rng.choice(list(algorithms)))
+    return None

@@ -1,0 +1,102 @@
+"""Query workloads and the E/I/D comparison matrices (paper §3.2).
+
+A workload is the set of value-comparison predicates appearing in the
+expected queries.  Each predicate compares a container either with
+another container (a join) or with a constant, and is of one of three
+kinds:
+
+* ``eq``   — equality without prefix matching      (matrix ``E``);
+* ``ineq`` — inequality (<, <=, >, >=)             (matrix ``I``);
+* ``wild`` — equality with prefix matching          (matrix ``D``).
+
+The matrices are ``(n+1) x (n+1)``: slot ``n`` is the constant column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+PREDICATE_KINDS = ("eq", "ineq", "wild")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One value-comparison predicate from the workload.
+
+    ``right_path`` is ``None`` for comparisons against constants.
+    """
+
+    kind: str
+    left_path: str
+    right_path: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in PREDICATE_KINDS:
+            raise ValueError(
+                f"predicate kind must be one of {PREDICATE_KINDS}, "
+                f"got {self.kind!r}")
+
+    @property
+    def is_join(self) -> bool:
+        """True when both sides are containers."""
+        return self.right_path is not None
+
+    def paths(self) -> tuple[str, ...]:
+        """The container paths this predicate touches."""
+        if self.right_path is None:
+            return (self.left_path,)
+        return (self.left_path, self.right_path)
+
+
+class Workload:
+    """A bag of predicates plus the derived matrices."""
+
+    def __init__(self, predicates: Iterable[Predicate] = ()):
+        self.predicates: list[Predicate] = list(predicates)
+
+    def add(self, predicate: Predicate) -> None:
+        self.predicates.append(predicate)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    def touched_paths(self) -> set[str]:
+        """Containers involved in at least one predicate.
+
+        The §3.2 cost model disregards untouched containers (footnote 5);
+        the loader gives those bzip2-style blob compression.
+        """
+        return {path for pred in self.predicates for path in pred.paths()}
+
+    def matrices(self, container_paths: Sequence[str]
+                 ) -> dict[str, np.ndarray]:
+        """Build E/I/D as symmetric ``(n+1) x (n+1)`` count matrices.
+
+        ``container_paths`` fixes the index order; predicates touching
+        unknown paths are ignored (they concern other documents).
+        """
+        index = {path: i for i, path in enumerate(container_paths)}
+        n = len(container_paths)
+        matrices = {kind: np.zeros((n + 1, n + 1), dtype=np.int64)
+                    for kind in PREDICATE_KINDS}
+        for predicate in self.predicates:
+            i = index.get(predicate.left_path)
+            if i is None:
+                continue
+            if predicate.right_path is None:
+                j = n
+            else:
+                j = index.get(predicate.right_path)
+                if j is None:
+                    continue
+            matrix = matrices[predicate.kind]
+            matrix[i, j] += 1
+            if i != j:
+                matrix[j, i] += 1
+        return matrices

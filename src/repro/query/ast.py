@@ -1,0 +1,174 @@
+"""Abstract syntax tree for the supported XQuery subset.
+
+The subset covers what the paper's experiments exercise (§5 and DESIGN
+§6): FLWOR expressions, path expressions with ``/`` and ``//`` axes,
+attribute and ``text()`` steps, step predicates, general comparisons,
+logic, arithmetic, aggregate/string functions, and direct element
+constructors with embedded expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Expression:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# -- literals and references -----------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class StringLiteral(Expression):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class NumberLiteral(Expression):
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef(Expression):
+    """``$name``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ContextItem(Expression):
+    """The implicit context node inside a step predicate."""
+
+
+# -- paths -------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One path step.
+
+    ``axis``: ``child`` | ``descendant`` | ``attribute``;
+    ``test``: an element name, ``*``, or ``text()``;
+    ``predicates``: the ``[...]`` filters on this step.
+    """
+
+    axis: str
+    test: str
+    predicates: tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class PathExpr(Expression):
+    """A path: a start expression plus navigation steps.
+
+    ``start`` is ``None`` for absolute paths (``document(...)/...`` or a
+    leading ``/``); otherwise the expression (usually a
+    :class:`VarRef`) providing the context nodes.  ``document`` carries
+    the ``document("...")`` argument for absolute paths, so engines
+    holding a collection can dispatch to the right document (a bare
+    leading ``/`` leaves it ``None`` — the default document).
+    """
+
+    start: Expression | None
+    steps: tuple[Step, ...]
+    document: str | None = None
+
+
+# -- operators ----------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Expression):
+    """General comparison: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Logical(Expression):
+    """``and`` / ``or``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Arithmetic(Expression):
+    """``+``, ``-``, ``*``, ``div``, ``mod``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall(Expression):
+    """Built-in function application (``count``, ``contains``, ...)."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+
+# -- FLWOR ---------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ForClause:
+    var: str
+    source: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class LetClause:
+    var: str
+    source: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class OrderSpec:
+    """One ``order by`` key with its direction."""
+
+    key: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class FLWOR(Expression):
+    """``for``/``let`` clauses, optional ``where``/``order by``, and
+    ``return``."""
+
+    clauses: tuple[ForClause | LetClause, ...]
+    where: Expression | None
+    result: Expression
+    order: tuple[OrderSpec, ...] = ()
+
+
+# -- constructors -----------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ElementConstructor(Expression):
+    """Direct element constructor ``<name attr=...>content</name>``.
+
+    Attribute values and content items may be literal text or embedded
+    expressions.
+    """
+
+    name: str
+    attributes: tuple[tuple[str, tuple[Expression, ...]], ...] = ()
+    content: tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class TextLiteral(Expression):
+    """Literal text inside a constructor."""
+
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceExpr(Expression):
+    """Comma sequence ``(e1, e2, ...)``."""
+
+    items: tuple[Expression, ...] = field(default=())

@@ -1,0 +1,182 @@
+"""Tokenizer for the XQuery subset.
+
+Hand-written, position-tracking, with one context-sensitivity handled
+here: ``<`` starts a direct element constructor only where an
+*expression* may begin, which the parser knows — so the lexer exposes
+raw-position access (:meth:`Lexer.mark` / :meth:`Lexer.reset`) and the
+parser re-enters constructor scanning itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = {"for", "let", "where", "return", "in", "and", "or",
+            "div", "mod", "document"}
+
+_PUNCTUATION = (
+    ("//", "DSLASH"), (":=", "ASSIGN"), ("!=", "NE"), ("<=", "LE"),
+    (">=", "GE"), ("/", "SLASH"), ("(", "LPAREN"), (")", "RPAREN"),
+    ("[", "LBRACKET"), ("]", "RBRACKET"), ("{", "LBRACE"),
+    ("}", "RBRACE"), (",", "COMMA"), ("=", "EQ"), ("<", "LT"),
+    (">", "GT"), ("@", "AT"), ("$", "DOLLAR"), ("*", "STAR"),
+    ("+", "PLUS"), ("-", "MINUS"),
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.:")
+
+
+class TokenType(Enum):
+    NAME = auto()
+    KEYWORD = auto()
+    STRING = auto()
+    NUMBER = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_punct(self, name: str) -> bool:
+        return self.type == TokenType.PUNCT and self.value == name
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value == word
+
+
+class Lexer:
+    """Pull-based tokenizer with arbitrary lookahead and rewind."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._pos = 0
+        self._peeked: list[Token] = []
+
+    # -- raw position control (for constructor parsing) --------------------
+
+    def mark(self) -> int:
+        """Current raw position (before any peeked tokens)."""
+        if self._peeked:
+            return self._peeked[0].position
+        self._skip_whitespace()
+        return self._pos
+
+    def reset(self, position: int) -> None:
+        """Rewind to a previously marked raw position."""
+        self._pos = position
+        self._peeked.clear()
+
+    # -- token access --------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        while len(self._peeked) <= ahead:
+            self._peeked.append(self._scan())
+        return self._peeked[ahead]
+
+    def next(self) -> Token:
+        if self._peeked:
+            return self._peeked.pop(0)
+        return self._scan()
+
+    def expect_punct(self, name: str) -> Token:
+        token = self.next()
+        if not token.is_punct(name):
+            raise QuerySyntaxError(
+                f"expected {name!r}, got {token.value!r}", token.position)
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.next()
+        if not token.is_keyword(word):
+            raise QuerySyntaxError(
+                f"expected keyword {word!r}, got {token.value!r}",
+                token.position)
+        return token
+
+    def expect_name(self) -> Token:
+        token = self.next()
+        if token.type not in (TokenType.NAME, TokenType.KEYWORD):
+            raise QuerySyntaxError(
+                f"expected a name, got {token.value!r}", token.position)
+        return token
+
+    # -- scanning ----------------------------------------------------------------
+
+    def _skip_whitespace(self) -> None:
+        text = self.text
+        n = len(text)
+        while self._pos < n:
+            ch = text[self._pos]
+            if ch in " \t\r\n":
+                self._pos += 1
+            elif text.startswith("(:", self._pos):
+                end = text.find(":)", self._pos + 2)
+                if end == -1:
+                    raise QuerySyntaxError("unterminated comment",
+                                           self._pos)
+                self._pos = end + 2
+            else:
+                break
+
+    def _scan(self) -> Token:
+        self._skip_whitespace()
+        text = self.text
+        if self._pos >= len(text):
+            return Token(TokenType.EOF, "", self._pos)
+        start = self._pos
+        ch = text[start]
+        if ch in "\"'":
+            return self._scan_string(start, ch)
+        if ch.isdigit() or (ch == "." and start + 1 < len(text)
+                            and text[start + 1].isdigit()):
+            return self._scan_number(start)
+        if ch in _NAME_START:
+            return self._scan_name(start)
+        for literal, name in _PUNCTUATION:
+            if text.startswith(literal, start):
+                self._pos = start + len(literal)
+                return Token(TokenType.PUNCT, name, start)
+        raise QuerySyntaxError(f"unexpected character {ch!r}", start)
+
+    def _scan_string(self, start: int, quote: str) -> Token:
+        end = self.text.find(quote, start + 1)
+        if end == -1:
+            raise QuerySyntaxError("unterminated string literal", start)
+        self._pos = end + 1
+        return Token(TokenType.STRING, self.text[start + 1:end], start)
+
+    def _scan_number(self, start: int) -> Token:
+        i = start
+        text = self.text
+        n = len(text)
+        while i < n and (text[i].isdigit() or text[i] == "."):
+            i += 1
+        if i < n and text[i] in "eE":
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+            while i < n and text[i].isdigit():
+                i += 1
+        self._pos = i
+        return Token(TokenType.NUMBER, text[start:i], start)
+
+    def _scan_name(self, start: int) -> Token:
+        i = start + 1
+        text = self.text
+        n = len(text)
+        while i < n and text[i] in _NAME_CHARS:
+            i += 1
+        self._pos = i
+        word = text[start:i]
+        if word in KEYWORDS:
+            return Token(TokenType.KEYWORD, word, start)
+        return Token(TokenType.NAME, word, start)

@@ -1,0 +1,291 @@
+"""Query analysis and access-path selection.
+
+The full cost-based optimizer is ongoing work in the paper (§5 notes the
+measured plans do not use it); what the engine does apply — and what
+this module provides — are the §4 evaluation strategies:
+
+* **conjunct analysis** of ``where`` clauses, so equality joins between
+  binding variables are executed with hash/merge joins instead of
+  nested loops (the Figure 5 three-way join shape);
+* **access-path selection**: a comparison between a variable's
+  root-to-leaf path and a constant turns into a ``ContAccess`` interval
+  search on the sorted container, followed by ``Parent`` steps back up —
+  bottom-up evaluation — instead of scanning the variable's whole
+  extent top-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.ast import (
+    Arithmetic,
+    Comparison,
+    ContextItem,
+    ElementConstructor,
+    Expression,
+    FLWOR,
+    FunctionCall,
+    Logical,
+    NumberLiteral,
+    PathExpr,
+    SequenceExpr,
+    Step,
+    StringLiteral,
+    VarRef,
+)
+
+
+def free_vars(expression: Expression | None) -> frozenset[str]:
+    """Variables an expression references but does not bind."""
+    if expression is None:
+        return frozenset()
+    names: set[str] = set()
+    _collect_free(expression, set(), names)
+    return frozenset(names)
+
+
+def _collect_free(expr: Expression, bound: set[str],
+                  names: set[str]) -> None:
+    if isinstance(expr, VarRef):
+        if expr.name not in bound:
+            names.add(expr.name)
+    elif isinstance(expr, PathExpr):
+        if expr.start is not None:
+            _collect_free(expr.start, bound, names)
+        for step in expr.steps:
+            for predicate in step.predicates:
+                _collect_free(predicate, bound, names)
+    elif isinstance(expr, (Comparison, Logical, Arithmetic)):
+        _collect_free(expr.left, bound, names)
+        _collect_free(expr.right, bound, names)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            _collect_free(arg, bound, names)
+    elif isinstance(expr, SequenceExpr):
+        for item in expr.items:
+            _collect_free(item, bound, names)
+    elif isinstance(expr, FLWOR):
+        inner_bound = set(bound)
+        for clause in expr.clauses:
+            _collect_free(clause.source, inner_bound, names)
+            inner_bound.add(clause.var)
+        if expr.where is not None:
+            _collect_free(expr.where, inner_bound, names)
+        for spec in expr.order:
+            _collect_free(spec.key, inner_bound, names)
+        _collect_free(expr.result, inner_bound, names)
+    elif isinstance(expr, ElementConstructor):
+        for _, parts in expr.attributes:
+            for part in parts:
+                _collect_free(part, bound, names)
+        for item in expr.content:
+            _collect_free(item, bound, names)
+    # Literals, TextLiteral, ContextItem: nothing to collect.
+
+
+def flatten_conjuncts(expression: Expression | None) -> list[Expression]:
+    """Split a where clause into its top-level ``and`` conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, Logical) and expression.op == "and":
+        return (flatten_conjuncts(expression.left)
+                + flatten_conjuncts(expression.right))
+    return [expression]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An equality conjunct usable as a hash join at one for-clause.
+
+    ``build_expr`` references only the clause's variable (plus nothing
+    else), so its key index can be cached across outer bindings;
+    ``probe_expr`` references only already-bound variables.
+    """
+
+    conjunct: Comparison
+    build_expr: Expression
+    probe_expr: Expression
+
+
+def find_join_plan(conjunct: Expression, clause_var: str,
+                   bound_vars: set[str]) -> JoinPlan | None:
+    """Classify a conjunct as a hash-joinable equality, if it is one."""
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    left_vars = free_vars(conjunct.left)
+    right_vars = free_vars(conjunct.right)
+    # The probe side must actually reference bound variables; a
+    # variable-vs-constant equality is a selection (RangePlan), not a
+    # join.
+    if left_vars == {clause_var} and right_vars and \
+            right_vars <= bound_vars:
+        return JoinPlan(conjunct, conjunct.left, conjunct.right)
+    if right_vars == {clause_var} and left_vars and \
+            left_vars <= bound_vars:
+        return JoinPlan(conjunct, conjunct.right, conjunct.left)
+    return None
+
+
+@dataclass(frozen=True)
+class RangePlan:
+    """A constant comparison turned into a container interval search.
+
+    ``leaf_steps`` navigates from the clause variable down to the value
+    (all plain child/attribute/text steps); ``low``/``high`` bound the
+    sorted container; ``ascend`` counts the ``Parent`` hops from the
+    container's parent elements back up to the variable's nodes.
+    """
+
+    leaf_steps: tuple[Step, ...]
+    low: str | None
+    high: str | None
+    low_inclusive: bool
+    high_inclusive: bool
+    ascend: int
+    #: "string" or "number" — the access path is only sound when the
+    #: container's sort order matches the constant's comparison order.
+    constant_kind: str = "string"
+
+
+def find_range_plan(conjunct: Expression, clause_var: str
+                    ) -> RangePlan | None:
+    """Turn ``$v/simple/path <op> constant`` into a RangePlan."""
+    if not isinstance(conjunct, Comparison):
+        return None
+    candidates = [(conjunct.left, conjunct.right, conjunct.op),
+                  (conjunct.right, conjunct.left, _flip(conjunct.op))]
+    for path_side, const_side, op in candidates:
+        constant = _constant_string(const_side)
+        if constant is None:
+            continue
+        steps = _simple_value_steps(path_side, clause_var)
+        if steps is None:
+            continue
+        kind = ("number" if isinstance(const_side, NumberLiteral)
+                else "string")
+        ascend = sum(1 for s in steps if s.axis == "child"
+                     and s.test not in ("text()",))
+        if op == "=":
+            return RangePlan(steps, constant, constant, True, True,
+                             ascend, kind)
+        if op == "<":
+            return RangePlan(steps, None, constant, True, False,
+                             ascend, kind)
+        if op == "<=":
+            return RangePlan(steps, None, constant, True, True,
+                             ascend, kind)
+        if op == ">":
+            return RangePlan(steps, constant, None, False, True,
+                             ascend, kind)
+        if op == ">=":
+            return RangePlan(steps, constant, None, True, True,
+                             ascend, kind)
+    return None
+
+
+def _constant_string(expr: Expression) -> str | None:
+    if isinstance(expr, StringLiteral):
+        return expr.value
+    if isinstance(expr, NumberLiteral):
+        value = expr.value
+        if value == int(value):
+            return str(int(value))
+        return repr(value)
+    return None
+
+
+def _simple_value_steps(expr: Expression, clause_var: str
+                        ) -> tuple[Step, ...] | None:
+    """``$v/a/b/text()`` or ``$v/@id`` -> its steps; else ``None``.
+
+    Only predicate-free child/attribute/text chains qualify — those are
+    exactly the root-to-leaf paths that have their own container.
+    """
+    if not isinstance(expr, PathExpr):
+        return None
+    if not isinstance(expr.start, VarRef) or expr.start.name != clause_var:
+        return None
+    if not expr.steps:
+        return None
+    for step in expr.steps:
+        if step.predicates:
+            return None
+        if step.axis not in ("child", "attribute"):
+            return None
+    last = expr.steps[-1]
+    if last.axis == "attribute" or last.test == "text()":
+        return expr.steps
+    return None
+
+
+def _flip(op: str) -> str:
+    return {"=": "=", "!=": "!=", "<": ">", "<=": ">=",
+            ">": "<", ">=": "<="}[op]
+
+
+@dataclass(frozen=True)
+class FullTextPlan:
+    """A ``word-contains($v/path, "w")`` conjunct answerable by a
+    full-text index (§6 extension)."""
+
+    leaf_steps: tuple[Step, ...]
+    words: tuple[str, ...]
+    ascend: int
+
+
+def find_fulltext_plan(conjunct: Expression, clause_var: str
+                       ) -> FullTextPlan | None:
+    """Classify an indexable whole-word containment conjunct."""
+    if not isinstance(conjunct, FunctionCall) or \
+            conjunct.name != "word-contains":
+        return None
+    if len(conjunct.args) != 2:
+        return None
+    path_arg, needle_arg = conjunct.args
+    if not isinstance(needle_arg, StringLiteral):
+        return None
+    steps = _simple_value_steps(path_arg, clause_var)
+    if steps is None:
+        return None
+    ascend = sum(1 for s in steps if s.axis == "child"
+                 and s.test not in ("text()",))
+    words = tuple(needle_arg.value.split())
+    if not words:
+        return None
+    return FullTextPlan(steps, words, ascend)
+
+
+def is_absolute_simple_path(expr: Expression) -> bool:
+    """Absolute, predicate-free element path (summary-resolvable)."""
+    if not isinstance(expr, PathExpr) or expr.start is not None:
+        return False
+    return all(not s.predicates and s.axis in ("child", "descendant")
+               and s.test != "text()" for s in expr.steps)
+
+
+def context_free(expr: Expression) -> bool:
+    """True when the expression never touches the context item."""
+    if isinstance(expr, ContextItem):
+        return False
+    if isinstance(expr, PathExpr):
+        if expr.start is not None and not context_free(expr.start):
+            return False
+        return all(context_free(p) for s in expr.steps
+                   for p in s.predicates)
+    if isinstance(expr, (Comparison, Logical, Arithmetic)):
+        return context_free(expr.left) and context_free(expr.right)
+    if isinstance(expr, FunctionCall):
+        return all(context_free(a) for a in expr.args)
+    if isinstance(expr, SequenceExpr):
+        return all(context_free(i) for i in expr.items)
+    if isinstance(expr, FLWOR):
+        return (all(context_free(c.source) for c in expr.clauses)
+                and (expr.where is None or context_free(expr.where))
+                and all(context_free(s.key) for s in expr.order)
+                and context_free(expr.result))
+    if isinstance(expr, ElementConstructor):
+        return (all(context_free(p) for _, parts in expr.attributes
+                    for p in parts)
+                and all(context_free(c) for c in expr.content))
+    return True

@@ -1,0 +1,433 @@
+"""The physical operators of the XQueC query engine (paper §4).
+
+Three operator classes, exactly as the paper groups them:
+
+* **data access** — :class:`ContScan`, :class:`ContAccess`,
+  :class:`StructureSummaryAccess`, :class:`Parent`, :class:`Child`,
+  :class:`Descendant`, :class:`TextContent`, :class:`AttributeContent`;
+* **data combination** — :class:`Select`, :class:`MergeJoin`,
+  :class:`HashJoin`, :class:`NestedLoopJoin`, :class:`Project`,
+  :class:`Distinct`, :class:`Sort`;
+* **(de)compression** — :class:`Decompress`, :class:`CompressConstant`.
+
+Operators are iterators over *rows* (dicts mapping column names to
+items), so plans compose by nesting.  Order guarantees mirror §4:
+``StructureSummaryAccess`` emits element ids in document order,
+``Parent``/``Child`` preserve the order of their input, and
+``ContScan``/``ContAccess`` emit in *value* order — which is what lets
+plans use :class:`MergeJoin` without sorting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.query.context import CompressedItem, EvaluationStats, NodeItem
+from repro.storage.repository import CompressedRepository
+
+Row = dict
+
+
+class Operator:
+    """Base class: an iterable of rows."""
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def rows(self) -> list[Row]:
+        """Materialize the full output (convenience for tests/benches)."""
+        return list(self)
+
+
+# -- data access operators ----------------------------------------------------
+
+class ContScan(Operator):
+    """Scan all (elementID, compressed value) pairs of a container."""
+
+    def __init__(self, repository: CompressedRepository, path: str,
+                 id_column: str, value_column: str,
+                 stats: EvaluationStats | None = None):
+        self._container = repository.container(path)
+        self._id_column = id_column
+        self._value_column = value_column
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._stats is not None:
+            self._stats.container_scans += 1
+        container = self._container
+        codec = container.codec
+        value_type = container.value_type
+        for parent_id, compressed in container.scan():
+            yield {self._id_column: NodeItem(parent_id),
+                   self._value_column: CompressedItem(
+                       compressed, codec, value_type)}
+
+
+class ContAccess(Operator):
+    """Interval access into a container (binary search, §2.2)."""
+
+    def __init__(self, repository: CompressedRepository, path: str,
+                 id_column: str, value_column: str,
+                 low: str | None = None, high: str | None = None,
+                 low_inclusive: bool = True, high_inclusive: bool = True,
+                 stats: EvaluationStats | None = None):
+        self._container = repository.container(path)
+        self._id_column = id_column
+        self._value_column = value_column
+        self._interval = (low, high, low_inclusive, high_inclusive)
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._stats is not None:
+            self._stats.container_accesses += 1
+        container = self._container
+        codec = container.codec
+        value_type = container.value_type
+        low, high, low_inc, high_inc = self._interval
+        for parent_id, compressed in container.interval_search(
+                low, high, low_inc, high_inc):
+            yield {self._id_column: NodeItem(parent_id),
+                   self._value_column: CompressedItem(
+                       compressed, codec, value_type)}
+
+
+class StructureSummaryAccess(Operator):
+    """All element ids reachable by a path, in document order."""
+
+    def __init__(self, repository: CompressedRepository,
+                 steps: list[tuple[str, str]], column: str,
+                 stats: EvaluationStats | None = None):
+        self._repository = repository
+        self._steps = steps
+        self._column = column
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._stats is not None:
+            self._stats.summary_accesses += 1
+        merged: set[int] = set()
+        for node in self._repository.resolve_path(self._steps):
+            merged.update(node.extent)
+        for node_id in sorted(merged):
+            yield {self._column: NodeItem(node_id)}
+
+
+class Child(Operator):
+    """Append each input node's children (optionally tag-filtered).
+
+    Children of one node are emitted in document order; input order is
+    preserved (§4).
+    """
+
+    def __init__(self, source: Iterable[Row],
+                 repository: CompressedRepository,
+                 input_column: str, output_column: str,
+                 tag: str | None = None,
+                 stats: EvaluationStats | None = None):
+        self._source = source
+        self._repository = repository
+        self._input = input_column
+        self._output = output_column
+        self._tag = tag
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        structure = self._repository.structure
+        tag_code = (None if self._tag is None
+                    else self._repository.dictionary.code_of(self._tag))
+        if self._tag is not None and tag_code is None:
+            return  # tag absent from the document: no children at all
+        for row in self._source:
+            node = row[self._input]
+            for child_id in structure.children_of(node.node_id, tag_code):
+                if self._stats is not None:
+                    self._stats.nodes_visited += 1
+                yield {**row, self._output: NodeItem(child_id)}
+
+
+class Parent(Operator):
+    """Append each input node's parent; preserves input order (§4)."""
+
+    def __init__(self, source: Iterable[Row],
+                 repository: CompressedRepository,
+                 input_column: str, output_column: str,
+                 stats: EvaluationStats | None = None):
+        self._source = source
+        self._repository = repository
+        self._input = input_column
+        self._output = output_column
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        structure = self._repository.structure
+        for row in self._source:
+            node = row[self._input]
+            parent_id = structure.parent_of(node.node_id)
+            if parent_id is None:
+                continue
+            if self._stats is not None:
+                self._stats.nodes_visited += 1
+            yield {**row, self._output: NodeItem(parent_id)}
+
+
+class Descendant(Operator):
+    """Append each input node's descendants (optionally tag-filtered)."""
+
+    def __init__(self, source: Iterable[Row],
+                 repository: CompressedRepository,
+                 input_column: str, output_column: str,
+                 tag: str | None = None,
+                 stats: EvaluationStats | None = None):
+        self._source = source
+        self._repository = repository
+        self._input = input_column
+        self._output = output_column
+        self._tag = tag
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        structure = self._repository.structure
+        tag_code = (None if self._tag is None
+                    else self._repository.dictionary.code_of(self._tag))
+        if self._tag is not None and tag_code is None:
+            return
+        for row in self._source:
+            node = row[self._input]
+            for descendant_id in structure.descendants_of(
+                    node.node_id, tag_code):
+                if self._stats is not None:
+                    self._stats.nodes_visited += 1
+                yield {**row, self._output: NodeItem(descendant_id)}
+
+
+class TextContent(Operator):
+    """Pair element ids with their immediate text content.
+
+    Implemented, as in the paper, as a hash join between the input ids
+    and a ``ContScan`` of the text container.
+    """
+
+    def __init__(self, source: Iterable[Row],
+                 repository: CompressedRepository,
+                 input_column: str, output_column: str,
+                 container_path: str,
+                 stats: EvaluationStats | None = None):
+        self._source = source
+        self._repository = repository
+        self._input = input_column
+        self._output = output_column
+        self._container_path = container_path
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        container = self._repository.container(self._container_path)
+        if self._stats is not None:
+            self._stats.container_scans += 1
+            self._stats.hash_joins += 1
+        codec = container.codec
+        value_type = container.value_type
+        by_parent: dict[int, list[CompressedItem]] = {}
+        for parent_id, compressed in container.scan():
+            by_parent.setdefault(parent_id, []).append(
+                CompressedItem(compressed, codec, value_type))
+        for row in self._source:
+            node = row[self._input]
+            for item in by_parent.get(node.node_id, ()):
+                yield {**row, self._output: item}
+
+
+class AttributeContent(Operator):
+    """Pair element ids with one attribute's compressed value."""
+
+    def __init__(self, source: Iterable[Row],
+                 repository: CompressedRepository,
+                 input_column: str, output_column: str,
+                 container_path: str,
+                 stats: EvaluationStats | None = None):
+        self._inner = TextContent(source, repository, input_column,
+                                  output_column, container_path, stats)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._inner)
+
+
+# -- data combination operators --------------------------------------------------
+
+class Select(Operator):
+    """Filter rows by a Python predicate over the row."""
+
+    def __init__(self, source: Iterable[Row], predicate):
+        self._source = source
+        self._predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        predicate = self._predicate
+        for row in self._source:
+            if predicate(row):
+                yield row
+
+
+class Project(Operator):
+    """Keep only the named columns."""
+
+    def __init__(self, source: Iterable[Row], columns: list[str]):
+        self._source = source
+        self._columns = columns
+
+    def __iter__(self) -> Iterator[Row]:
+        columns = self._columns
+        for row in self._source:
+            yield {c: row[c] for c in columns}
+
+
+class HashJoin(Operator):
+    """Equi-join on key functions; builds on the right input."""
+
+    def __init__(self, left: Iterable[Row], right: Iterable[Row],
+                 left_key, right_key,
+                 stats: EvaluationStats | None = None):
+        self._left = left
+        self._right = right
+        self._left_key = left_key
+        self._right_key = right_key
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        if self._stats is not None:
+            self._stats.hash_joins += 1
+        index: dict = {}
+        for row in self._right:
+            index.setdefault(self._right_key(row), []).append(row)
+        for row in self._left:
+            for match in index.get(self._left_key(row), ()):
+                yield {**row, **match}
+
+
+class MergeJoin(Operator):
+    """1-pass merge join over inputs already sorted on their keys.
+
+    The order-preserving container scans make this the paper's operator
+    of choice for value joins (§4): no sort is needed.
+    """
+
+    def __init__(self, left: Iterable[Row], right: Iterable[Row],
+                 left_key, right_key):
+        self._left = left
+        self._right = right
+        self._left_key = left_key
+        self._right_key = right_key
+
+    def __iter__(self) -> Iterator[Row]:
+        left_rows = list(self._left)
+        right_rows = list(self._right)
+        i = 0
+        j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lk = self._left_key(left_rows[i])
+            rk = self._right_key(right_rows[j])
+            if lk < rk:
+                i += 1
+            elif rk < lk:
+                j += 1
+            else:
+                # Emit the cross product of the two equal-key runs.
+                i_end = i
+                while i_end < len(left_rows) and \
+                        self._left_key(left_rows[i_end]) == lk:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_rows) and \
+                        self._right_key(right_rows[j_end]) == rk:
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        yield {**left_rows[li], **right_rows[rj]}
+                i = i_end
+                j = j_end
+
+
+class NestedLoopJoin(Operator):
+    """Theta-join by nested iteration (the baseline engines' only join)."""
+
+    def __init__(self, left: Iterable[Row], right: Iterable[Row],
+                 condition):
+        self._left = left
+        self._right = right
+        self._condition = condition
+
+    def __iter__(self) -> Iterator[Row]:
+        right_rows = list(self._right)
+        for left_row in self._left:
+            for right_row in right_rows:
+                if self._condition(left_row, right_row):
+                    yield {**left_row, **right_row}
+
+
+class Distinct(Operator):
+    """Drop duplicate rows (by a key function)."""
+
+    def __init__(self, source: Iterable[Row], key):
+        self._source = source
+        self._key = key
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set = set()
+        for row in self._source:
+            key = self._key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+
+class Sort(Operator):
+    """Sort rows by a key function (needed only when order was lost)."""
+
+    def __init__(self, source: Iterable[Row], key, reverse: bool = False):
+        self._source = source
+        self._key = key
+        self._reverse = reverse
+
+    def __iter__(self) -> Iterator[Row]:
+        yield from sorted(self._source, key=self._key,
+                          reverse=self._reverse)
+
+
+# -- compression / decompression operators -------------------------------------
+
+class Decompress(Operator):
+    """Replace a compressed column with its decoded string value.
+
+    In the paper's plans (Figure 5) this sits at the very top: values
+    stay compressed through selections and joins, and only the final
+    results are decompressed.
+    """
+
+    def __init__(self, source: Iterable[Row], columns: list[str],
+                 stats: EvaluationStats):
+        self._source = source
+        self._columns = columns
+        self._stats = stats
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._source:
+            out = dict(row)
+            for column in self._columns:
+                item = out.get(column)
+                if isinstance(item, CompressedItem):
+                    out[column] = item.decode(self._stats)
+            yield out
+
+
+class CompressConstant:
+    """Compress a query constant once with a container's source model.
+
+    Not an iterator — a helper the optimizer uses to push a comparison
+    into the compressed domain (one encode instead of N decodes).
+    """
+
+    def __init__(self, repository: CompressedRepository, path: str):
+        self._codec = repository.container(path).codec
+
+    def encode(self, constant: str):
+        return self._codec.try_encode(constant)

@@ -1,0 +1,106 @@
+"""Shipping compressed query results — the paper's network argument.
+
+§1 and the conclusion: "the possibility of obtaining compressed query
+results allows to spare network bandwidth when sending these results
+to a remote location" / "can be a huge advantage when query results
+must be shipped around a network".
+
+:func:`ship` packages a query's *raw* result sequence without
+decompressing it: still-compressed values travel as their code bits
+plus one serialized source model per distinct codec; nodes are
+materialized (they must be serialized as XML anyway) and atomics go as
+text.  :func:`receive` unpacks on the other side, decoding with the
+shipped models.
+"""
+
+from __future__ import annotations
+
+from repro.compression.serialization import (
+    deserialize_codec,
+    serialize_codec,
+)
+from repro.errors import CorruptDataError
+from repro.compression.base import CompressedValue
+from repro.query.context import CompressedItem, EvaluationStats, NodeItem
+from repro.util.bytestream import ByteReader, ByteWriter
+from repro.xmlio.dom import Element
+from repro.xmlio.writer import serialize
+
+_KIND_COMPRESSED = 0
+_KIND_TEXT = 1
+_KIND_XML = 2
+_KIND_NUMBER = 3
+_KIND_BOOLEAN = 4
+
+
+def ship(result) -> bytes:
+    """Package a :class:`~repro.query.engine.QueryResult` compressed.
+
+    Values that are still compressed stay compressed; each distinct
+    source model ships exactly once.
+    """
+    writer = ByteWriter()
+    models: list = []
+    model_index: dict[int, int] = {}
+    body = ByteWriter()
+    items = result._raw_items
+    body.varint(len(items))
+    for item in items:
+        if isinstance(item, CompressedItem):
+            key = id(item.codec)
+            if key not in model_index:
+                model_index[key] = len(models)
+                models.append(serialize_codec(item.codec))
+            body.byte(_KIND_COMPRESSED)
+            body.varint(model_index[key])
+            body.varint(item.compressed.bits)
+            body.exact(item.compressed.data)
+        elif isinstance(item, NodeItem):
+            engine = result._engine
+            element = engine.materialize_node(
+                item.node_id, EvaluationStats(), doc=item.doc)
+            body.byte(_KIND_XML)
+            body.string(serialize(element))
+        elif isinstance(item, Element):
+            body.byte(_KIND_XML)
+            body.string(serialize(item))
+        elif isinstance(item, bool):
+            body.byte(_KIND_BOOLEAN)
+            body.byte(1 if item else 0)
+        elif isinstance(item, float):
+            body.byte(_KIND_NUMBER)
+            body.float64(item)
+        else:
+            body.byte(_KIND_TEXT)
+            body.string(str(item))
+    writer.varint(len(models))
+    for model in models:
+        writer.raw(model)
+    writer.exact(body.getvalue())
+    return writer.getvalue()
+
+
+def receive(payload: bytes) -> list:
+    """Unpack a shipped result into plain values/XML strings."""
+    reader = ByteReader(payload)
+    codecs = [deserialize_codec(reader.raw())
+              for _ in range(reader.varint())]
+    out: list = []
+    for _ in range(reader.varint()):
+        kind = reader.byte()
+        if kind == _KIND_COMPRESSED:
+            codec = codecs[reader.varint()]
+            bits = reader.varint()
+            data = reader.exact((bits + 7) // 8)
+            out.append(codec.decode(CompressedValue(data, bits)))
+        elif kind == _KIND_TEXT:
+            out.append(reader.string())
+        elif kind == _KIND_XML:
+            out.append(reader.string())
+        elif kind == _KIND_NUMBER:
+            out.append(reader.float64())
+        elif kind == _KIND_BOOLEAN:
+            out.append(reader.byte() == 1)
+        else:
+            raise CorruptDataError(f"unknown shipped item kind {kind}")
+    return out

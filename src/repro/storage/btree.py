@@ -1,0 +1,259 @@
+"""A from-scratch B+ tree.
+
+Replaces the Berkeley DB back-end the paper's prototype sits on [25]:
+the structure tree keeps a B+ search tree over node records (§2.2), and
+order-preserving containers use one for interval (``ContAccess``) search.
+
+Leaves hold (key, value) pairs and are chained left-to-right for range
+scans.  Keys may be any mutually comparable values (ints, bytes,
+:class:`~repro.compression.base.CompressedValue`).  Duplicate keys are
+allowed; ``insert`` appends, ``search`` returns the first match, and
+``range_scan`` yields every pair in key order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+
+
+class _Node:
+    __slots__ = ("keys", "leaf")
+
+    def __init__(self, leaf: bool):
+        self.keys: list = []
+        self.leaf = leaf
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self):
+        super().__init__(leaf=True)
+        self.values: list = []
+        self.next: _Leaf | None = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self):
+        super().__init__(leaf=False)
+        # len(children) == len(keys) + 1; keys[i] is the smallest key
+        # reachable under children[i + 1].
+        self.children: list[_Node] = []
+
+
+class BPlusTree:
+    """In-memory B+ tree with leaf chaining."""
+
+    def __init__(self, order: int = 64):
+        """``order`` is the maximum number of keys per node (>= 3)."""
+        if order < 3:
+            raise ValueError("order must be at least 3")
+        self._order = order
+        self._root: _Node = _Leaf()
+        self._size = 0
+        self._height = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves (1 = root is a leaf)."""
+        return self._height
+
+    # -- construction -----------------------------------------------------
+
+    def insert(self, key, value) -> None:
+        """Insert one pair (duplicates allowed)."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+        self._size += 1
+
+    def _insert(self, node: _Node, key, value):
+        if node.leaf:
+            assert isinstance(node, _Leaf)
+            at = bisect.bisect_right(node.keys, key)
+            node.keys.insert(at, key)
+            node.values.insert(at, value)
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+        assert isinstance(node, _Internal)
+        slot = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[slot], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(slot, separator)
+        node.children.insert(slot + 1, right)
+        if len(node.keys) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Leaf):
+        mid = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return separator, right
+
+    @classmethod
+    def bulk_load(cls, pairs: Iterable[tuple], order: int = 64
+                  ) -> "BPlusTree":
+        """Build a tree from *sorted* pairs, packing leaves fully.
+
+        Raises :class:`ValueError` when the input is not in key order.
+        """
+        tree = cls(order=order)
+        leaves: list[_Leaf] = []
+        current = _Leaf()
+        previous_key = None
+        count = 0
+        for key, value in pairs:
+            if previous_key is not None and key < previous_key:
+                raise ValueError("bulk_load requires sorted input")
+            previous_key = key
+            if len(current.keys) == order:
+                leaves.append(current)
+                fresh = _Leaf()
+                current.next = fresh
+                current = fresh
+            current.keys.append(key)
+            current.values.append(value)
+            count += 1
+        leaves.append(current)
+        tree._size = count
+        # Build internal levels bottom-up.
+        level: list[_Node] = list(leaves)
+        height = 1
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for start in range(0, len(level), order + 1):
+                group = level[start:start + order + 1]
+                parent = _Internal()
+                parent.children = group
+                parent.keys = [tree._smallest_key(child)
+                               for child in group[1:]]
+                parents.append(parent)
+            level = parents
+            height += 1
+        tree._root = level[0]
+        tree._height = height
+        return tree
+
+    @staticmethod
+    def _smallest_key(node: _Node):
+        while not node.leaf:
+            assert isinstance(node, _Internal)
+            node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    # -- lookup -----------------------------------------------------------
+
+    def _find_leaf(self, key) -> tuple[_Leaf, int]:
+        """Leftmost leaf that may hold ``key``, and the candidate slot.
+
+        Descends with ``bisect_left`` so duplicate runs that span a
+        separator are entered at their left end; callers walk the leaf
+        chain forward from here.
+        """
+        node = self._root
+        while not node.leaf:
+            assert isinstance(node, _Internal)
+            node = node.children[bisect.bisect_left(node.keys, key)]
+        assert isinstance(node, _Leaf)
+        return node, bisect.bisect_left(node.keys, key)
+
+    def search(self, key):
+        """First value stored under ``key``, or ``None``."""
+        leaf, slot = self._find_leaf(key)
+        if slot < len(leaf.keys) and leaf.keys[slot] == key:
+            return leaf.values[slot]
+        # The first match may start in the next leaf after duplicates.
+        if slot == len(leaf.keys) and leaf.next is not None:
+            nxt = leaf.next
+            if nxt.keys and nxt.keys[0] == key:
+                return nxt.values[0]
+        return None
+
+    def __contains__(self, key) -> bool:
+        return self.search(key) is not None
+
+    def search_all(self, key) -> list:
+        """All values stored under ``key`` (duplicates), in order."""
+        return [v for _, v in self.range_scan(key, key, inclusive=True)]
+
+    def range_scan(self, low=None, high=None,
+                   inclusive: bool = True) -> Iterator[tuple]:
+        """Yield (key, value) pairs with ``low <= key (<|<=) high``.
+
+        ``None`` bounds are open ends; ``inclusive`` controls the upper
+        bound only (interval search for ``ContAccess``).
+        """
+        if low is None:
+            node: _Node = self._root
+            while not node.leaf:
+                assert isinstance(node, _Internal)
+                node = node.children[0]
+            assert isinstance(node, _Leaf)
+            leaf, slot = node, 0
+        else:
+            leaf, slot = self._find_leaf(low)
+        while leaf is not None:
+            keys = leaf.keys
+            for i in range(slot, len(keys)):
+                key = keys[i]
+                if low is not None and key < low:
+                    continue  # landed one leaf early; skip forward
+                if high is not None:
+                    if inclusive and high < key:
+                        return
+                    if not inclusive and not key < high:
+                        return
+                yield key, leaf.values[i]
+            leaf = leaf.next
+            slot = 0
+
+    def items(self) -> Iterator[tuple]:
+        """All pairs in key order."""
+        return self.range_scan()
+
+    # -- accounting -------------------------------------------------------
+
+    def node_count(self) -> tuple[int, int]:
+        """(internal nodes, leaves) — for storage-size estimates."""
+        internal = 0
+        leaves = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                leaves += 1
+            else:
+                internal += 1
+                assert isinstance(node, _Internal)
+                stack.extend(node.children)
+        return internal, leaves

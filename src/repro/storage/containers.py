@@ -1,0 +1,351 @@
+"""Value containers: per-path, individually compressed value storage.
+
+All data values found under the same root-to-leaf path expression are
+stored together (§2.2).  A container is a sequence of *container
+records* — (compressed value, parent pointer) — kept in **lexicographic
+value order**, not document order, so interval search is a binary
+search; this is what makes the ``ContAccess`` access path cheap.
+
+Unlike XMill, every value is compressed on its own and individually
+accessible.  For order-preserving codecs the records can be compared —
+and binary-searched — directly on their compressed form; for
+order-agnostic codecs (Huffman) the records are still value-sorted, and
+interval probes decompress O(log n) pivot records instead.
+
+A container whose codec ``is_blob`` degrades to the XMill behaviour:
+one compressed chunk, any record access decompresses the whole chunk
+(the trade-off the §3 cost model weighs).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+
+from repro.compression.base import Codec, CompressedValue
+from repro.compression.blob import BlobCodec
+from repro.errors import StorageError
+
+
+class ContainerRecord:
+    """One (compressed value, parent node id) record."""
+
+    __slots__ = ("compressed", "parent_id")
+
+    def __init__(self, compressed: CompressedValue, parent_id: int):
+        self.compressed = compressed
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:
+        return (f"ContainerRecord(bits={self.compressed.bits}, "
+                f"parent={self.parent_id})")
+
+
+class ValueContainer:
+    """A sealed, sorted container of individually compressed values."""
+
+    def __init__(self, path: str, value_type: str = "string"):
+        """``path`` is the root-to-leaf path expression; ``value_type``
+        the inferred elementary type (``string``/``int``/``float``)."""
+        self.path = path
+        self.value_type = value_type
+        self._pending: list[tuple[str, int]] = []  # (value, parent id)
+        self._codec: Codec | None = None
+        self._records: list[ContainerRecord] = []
+        self._blob: bytes | None = None
+        self._blob_values: list[str] | None = None
+        self._blob_parents: list[int] | None = None
+        self._insertion_to_sorted: list[int] = []
+        self._count = 0
+        self._sealed = False
+
+    def _compare_key(self, value: str):
+        """Comparison key honouring the container's elementary type."""
+        if self.value_type == "int":
+            return int(value)
+        if self.value_type == "float":
+            return float(value)
+        return value
+
+    # -- loading phase ------------------------------------------------------
+
+    def add_value(self, value: str, parent_id: int) -> None:
+        """Stage a raw value during document loading."""
+        if self._sealed:
+            raise StorageError(f"container {self.path!r} already sealed")
+        self._pending.append((value, parent_id))
+
+    @property
+    def pending_values(self) -> list[str]:
+        """Raw staged values (training input for the codec choice)."""
+        return [value for value, _ in self._pending]
+
+    def seal(self, codec: Codec) -> None:
+        """Sort records lexicographically, compress, and freeze.
+
+        Loading stages values in document order, but the sealed container
+        is value-ordered; :meth:`sorted_position` maps a staging index to
+        the record's final slot so structure-tree value pointers can be
+        fixed up.
+        """
+        if self._sealed:
+            raise StorageError(f"container {self.path!r} already sealed")
+        self._codec = codec
+        order = sorted(range(len(self._pending)),
+                       key=lambda i: self._compare_key(self._pending[i][0]))
+        self._insertion_to_sorted = [0] * len(order)
+        for sorted_pos, insertion_pos in enumerate(order):
+            self._insertion_to_sorted[insertion_pos] = sorted_pos
+        ordered = [self._pending[i] for i in order]
+        if isinstance(codec, BlobCodec):
+            values = [v for v, _ in ordered]
+            self._blob = codec.encode_many(values)
+            self._blob_values = values
+            self._blob_parents = [p for _, p in ordered]
+        else:
+            self._records = [
+                ContainerRecord(codec.encode(value), parent_id)
+                for value, parent_id in ordered
+            ]
+        self._count = len(ordered)
+        self._pending = []
+        self._sealed = True
+
+    def sorted_position(self, insertion_index: int) -> int:
+        """Final slot of the value staged ``insertion_index``-th."""
+        self._require_sealed()
+        return self._insertion_to_sorted[insertion_index]
+
+    @classmethod
+    def from_records(cls, path: str, value_type: str, codec: Codec,
+                     records: list[ContainerRecord]) -> "ValueContainer":
+        """Rehydrate a sealed record container (deserialization)."""
+        container = cls(path, value_type)
+        container._codec = codec
+        container._records = records
+        container._count = len(records)
+        container._sealed = True
+        return container
+
+    @classmethod
+    def from_blob(cls, path: str, value_type: str, codec: Codec,
+                  blob: bytes, values: list[str],
+                  parents: list[int]) -> "ValueContainer":
+        """Rehydrate a sealed blob container (deserialization)."""
+        container = cls(path, value_type)
+        container._codec = codec
+        container._blob = blob
+        container._blob_values = values
+        container._blob_parents = parents
+        container._count = len(values)
+        container._sealed = True
+        return container
+
+    # -- access phase --------------------------------------------------------
+
+    def _require_sealed(self) -> None:
+        if not self._sealed:
+            raise StorageError(f"container {self.path!r} not sealed yet")
+
+    @property
+    def codec(self) -> Codec:
+        """The codec this container was sealed with."""
+        self._require_sealed()
+        assert self._codec is not None
+        return self._codec
+
+    @property
+    def is_blob(self) -> bool:
+        """True when the container stores one XMill-style chunk."""
+        self._require_sealed()
+        return self._blob is not None
+
+    def __len__(self) -> int:
+        self._require_sealed()
+        return self._count
+
+    def scan(self) -> Iterator[tuple[int, CompressedValue]]:
+        """``ContScan``: all (parent id, compressed value) pairs.
+
+        For blob containers this decompresses the whole chunk (counted
+        by the caller as a full decompression) and re-encodes values
+        standalone so downstream operators see a uniform record shape.
+        """
+        self._require_sealed()
+        if self._blob is not None:
+            assert self._blob_values is not None
+            assert self._blob_parents is not None
+            assert self._codec is not None
+            for value, parent in zip(self._blob_values,
+                                     self._blob_parents):
+                yield parent, self._codec.encode(value)
+            return
+        for record in self._records:
+            yield record.parent_id, record.compressed
+
+    def scan_decoded(self) -> Iterator[tuple[int, str]]:
+        """All (parent id, plain value) pairs, decompressing."""
+        self._require_sealed()
+        if self._blob is not None:
+            assert self._blob_values is not None
+            assert self._blob_parents is not None
+            yield from zip(self._blob_parents, self._blob_values)
+            return
+        assert self._codec is not None
+        for record in self._records:
+            yield record.parent_id, self._codec.decode(record.compressed)
+
+    def record_at(self, index: int) -> ContainerRecord:
+        """Record by position (value pointers from the structure tree)."""
+        self._require_sealed()
+        if self._blob is not None:
+            assert self._blob_values is not None
+            assert self._blob_parents is not None
+            assert self._codec is not None
+            return ContainerRecord(
+                self._codec.encode(self._blob_values[index]),
+                self._blob_parents[index])
+        return self._records[index]
+
+    def value_at(self, index: int) -> str:
+        """Plain value by position."""
+        self._require_sealed()
+        if self._blob is not None:
+            assert self._blob_values is not None
+            return self._blob_values[index]
+        assert self._codec is not None
+        return self._codec.decode(self._records[index].compressed)
+
+    def interval_search(self, low: str | None, high: str | None,
+                        low_inclusive: bool = True,
+                        high_inclusive: bool = True
+                        ) -> Iterator[tuple[int, CompressedValue]]:
+        """``ContAccess``: records whose value lies in the interval.
+
+        Order-preserving codecs binary-search on compressed bytes;
+        order-agnostic ones binary-search by decompressing the O(log n)
+        probe pivots.  Bounds are plain strings (query constants).
+        """
+        self._require_sealed()
+        if self._blob is not None:
+            # XMill-style chunk: no random access; filter a full scan.
+            key = self._compare_key
+            k_low = key(low) if low is not None else None
+            k_high = key(high) if high is not None else None
+            for parent, value in self.scan_decoded():
+                if _in_interval(key(value), k_low, k_high,
+                                low_inclusive, high_inclusive):
+                    assert self._codec is not None
+                    yield parent, self._codec.encode(value)
+            return
+        assert self._codec is not None
+        if self._codec.properties.ineq:
+            yield from self._interval_compressed(
+                low, high, low_inclusive, high_inclusive)
+        else:
+            yield from self._interval_decompressing(
+                low, high, low_inclusive, high_inclusive)
+
+    def _interval_compressed(self, low, high, low_inclusive,
+                             high_inclusive):
+        codec = self._codec
+        assert codec is not None
+        keys = [r.compressed for r in self._records]
+        start = 0
+        if low is not None:
+            c_low = codec.try_encode(low)
+            if c_low is None:
+                # The bound contains characters outside the source
+                # model; fall back to decompressing comparisons.
+                yield from self._interval_decompressing(
+                    low, high, low_inclusive, high_inclusive)
+                return
+            start = (bisect.bisect_left(keys, c_low) if low_inclusive
+                     else bisect.bisect_right(keys, c_low))
+        end = len(keys)
+        if high is not None:
+            c_high = codec.try_encode(high)
+            if c_high is None:
+                yield from self._interval_decompressing(
+                    low, high, low_inclusive, high_inclusive)
+                return
+            end = (bisect.bisect_right(keys, c_high) if high_inclusive
+                   else bisect.bisect_left(keys, c_high))
+        for record in self._records[start:end]:
+            yield record.parent_id, record.compressed
+
+    def _interval_decompressing(self, low, high, low_inclusive,
+                                high_inclusive):
+        codec = self._codec
+        assert codec is not None
+
+        key = self._compare_key
+
+        class _Probe:
+            """Adapter giving bisect a decompressed view of records."""
+
+            def __init__(self, records):
+                self._records = records
+
+            def __len__(self):
+                return len(self._records)
+
+            def __getitem__(self, index):
+                return key(codec.decode(self._records[index].compressed))
+
+        view = _Probe(self._records)
+        start = 0
+        if low is not None:
+            start = (bisect.bisect_left(view, key(low)) if low_inclusive
+                     else bisect.bisect_right(view, key(low)))
+        end = len(self._records)
+        if high is not None:
+            end = (bisect.bisect_right(view, key(high)) if high_inclusive
+                   else bisect.bisect_left(view, key(high)))
+        for record in self._records[start:end]:
+            yield record.parent_id, record.compressed
+
+    # -- accounting -----------------------------------------------------------
+
+    def data_size_bytes(self) -> int:
+        """Compressed payload bytes (values + varint parent pointers)."""
+        from repro.util.varint import varint_size
+        self._require_sealed()
+        if self._blob is not None:
+            assert self._blob_parents is not None
+            return len(self._blob) + sum(varint_size(p)
+                                         for p in self._blob_parents)
+        return sum(r.compressed.nbytes + varint_size(r.parent_id)
+                   for r in self._records)
+
+    def model_size_bytes(self) -> int:
+        """Size of the codec's source model."""
+        self._require_sealed()
+        assert self._codec is not None
+        return self._codec.model_size_bytes()
+
+    def uncompressed_size_bytes(self) -> int:
+        """UTF-8 size of the raw values (for per-container CF)."""
+        self._require_sealed()
+        return sum(len(v.encode("utf-8"))
+                   for _, v in self.scan_decoded())
+
+    def __repr__(self) -> str:
+        state = "sealed" if self._sealed else "loading"
+        return f"<ValueContainer {self.path!r} {state}>"
+
+
+def _in_interval(value, low, high,
+                 low_inclusive: bool, high_inclusive: bool) -> bool:
+    """Interval membership over mutually comparable keys."""
+    if low is not None:
+        if low_inclusive and value < low:
+            return False
+        if not low_inclusive and value <= low:
+            return False
+    if high is not None:
+        if high_inclusive and value > high:
+            return False
+        if not high_inclusive and value >= high:
+            return False
+    return True

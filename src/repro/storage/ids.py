@@ -1,0 +1,62 @@
+"""Node identifier schemes.
+
+The paper's prototype uses *simple unique IDs* — sequential integers in
+document order — and names the move to *3-valued IDs* (pre, post, level;
+in the spirit of TIMBER / Grust's pre-post encoding / structural joins)
+as immediate future work (§5, §6), since simple IDs force a parent-child
+join per step.  Both are implemented: the loader assigns simple IDs, and
+:class:`StructuralId` supports the structural-join extension operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SimpleIdAssigner:
+    """Sequential document-order integer IDs (the paper's current IDs)."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def next_id(self) -> int:
+        """Allocate the next ID."""
+        value = self._next
+        self._next += 1
+        return value
+
+    @property
+    def count(self) -> int:
+        """Number of IDs allocated so far."""
+        return self._next
+
+
+@dataclass(frozen=True, slots=True)
+class StructuralId:
+    """A 3-valued (pre, post, level) identifier.
+
+    ``pre`` is the document-order (preorder) rank — it doubles as the
+    simple ID — ``post`` the postorder rank, ``level`` the depth.  With
+    these, ancestry is a pair of comparisons instead of a chain of
+    parent-child joins.
+    """
+
+    pre: int
+    post: int
+    level: int
+
+    def is_ancestor_of(self, other: "StructuralId") -> bool:
+        """Strict ancestorship test in O(1)."""
+        return self.pre < other.pre and self.post > other.post
+
+    def is_descendant_of(self, other: "StructuralId") -> bool:
+        """Strict descendantship test in O(1)."""
+        return other.is_ancestor_of(self)
+
+    def is_parent_of(self, other: "StructuralId") -> bool:
+        """Parent test: ancestor exactly one level up."""
+        return self.is_ancestor_of(other) and self.level == other.level - 1
+
+    def precedes(self, other: "StructuralId") -> bool:
+        """Document-order comparison."""
+        return self.pre < other.pre

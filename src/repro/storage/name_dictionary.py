@@ -1,0 +1,56 @@
+"""Dictionary encoding of element and attribute names (paper §2.2).
+
+With ``N_t`` distinct names each name is a code of ``ceil(log2 N_t)``
+bits — the paper's XMark example: 92 names on 7 bits.  Attribute names
+are stored with a ``@`` prefix so they never collide with element names.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class NameDictionary:
+    """Bidirectional name <-> code mapping."""
+
+    def __init__(self):
+        self._codes: dict[str, int] = {}
+        self._names: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._codes
+
+    def intern(self, name: str) -> int:
+        """Return the code for ``name``, allocating one if new."""
+        code = self._codes.get(name)
+        if code is None:
+            code = len(self._names)
+            self._codes[name] = code
+            self._names.append(name)
+        return code
+
+    def code_of(self, name: str) -> int | None:
+        """Code for a known name, or ``None``."""
+        return self._codes.get(name)
+
+    def name_of(self, code: int) -> str:
+        """Name for a code; raises :class:`IndexError` for bad codes."""
+        return self._names[code]
+
+    @property
+    def code_bits(self) -> int:
+        """Bits per code: ``ceil(log2 N_t)`` (minimum 1)."""
+        if len(self._names) <= 1:
+            return 1
+        return math.ceil(math.log2(len(self._names)))
+
+    def serialized_size_bytes(self) -> int:
+        """UTF-8 names + one length byte each."""
+        return sum(len(n.encode("utf-8")) + 1 for n in self._names)
+
+    def names(self) -> list[str]:
+        """All names in code order."""
+        return list(self._names)

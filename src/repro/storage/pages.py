@@ -1,0 +1,139 @@
+"""Paged binary persistence for the compressed repository.
+
+A :class:`PageFile` is a flat file of fixed-size pages, each with a
+small header (page type, payload length, CRC32).  On top sits
+:class:`PagedWriter`/:class:`PagedReader` — a stream abstraction that
+spills a byte stream across as many pages as needed.  The repository
+persists each storage structure as one named stream, which also gives
+the honest on-disk sizes the compression-factor experiments report.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+from repro.errors import PageError
+
+PAGE_SIZE = 4096
+_HEADER = struct.Struct(">BHI")  # type, payload length, crc32
+_PAYLOAD = PAGE_SIZE - _HEADER.size
+
+#: page types
+PT_FREE = 0
+PT_DATA = 1
+PT_CATALOG = 2
+
+
+class PageFile:
+    """Fixed-size-page file with per-page checksums."""
+
+    def __init__(self, path: str | Path, create: bool = False):
+        self._path = Path(path)
+        mode = "w+b" if create else "r+b"
+        self._file = open(self._path, mode)
+        self._file.seek(0, 2)
+        self._page_count = self._file.tell() // PAGE_SIZE
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages currently in the file."""
+        return self._page_count
+
+    @property
+    def size_bytes(self) -> int:
+        """Total file size in bytes."""
+        return self._page_count * PAGE_SIZE
+
+    def allocate(self) -> int:
+        """Append a zeroed page; returns its page number."""
+        page_no = self._page_count
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(b"\x00" * PAGE_SIZE)
+        self._page_count += 1
+        return page_no
+
+    def write_page(self, page_no: int, payload: bytes,
+                   page_type: int = PT_DATA) -> None:
+        """Write one page's payload (checksummed)."""
+        if len(payload) > _PAYLOAD:
+            raise PageError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{_PAYLOAD}")
+        if not 0 <= page_no < self._page_count:
+            raise PageError(f"page {page_no} not allocated")
+        crc = zlib.crc32(payload)
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(_HEADER.pack(page_type, len(payload), crc))
+        self._file.write(payload)
+
+    def read_page(self, page_no: int) -> tuple[int, bytes]:
+        """Read one page; returns (page type, payload); verifies CRC."""
+        if not 0 <= page_no < self._page_count:
+            raise PageError(f"page {page_no} does not exist")
+        self._file.seek(page_no * PAGE_SIZE)
+        raw = self._file.read(PAGE_SIZE)
+        if len(raw) < _HEADER.size:
+            raise PageError(f"page {page_no} truncated")
+        page_type, length, crc = _HEADER.unpack_from(raw)
+        payload = raw[_HEADER.size:_HEADER.size + length]
+        if len(payload) != length:
+            raise PageError(f"page {page_no} truncated payload")
+        if zlib.crc32(payload) != crc:
+            raise PageError(f"page {page_no} fails checksum")
+        return page_type, payload
+
+
+class PagedWriter:
+    """Spills a byte stream across data pages; returns the page list."""
+
+    def __init__(self, pagefile: PageFile):
+        self._pagefile = pagefile
+        self._buffer = bytearray()
+        self._pages: list[int] = []
+
+    def write(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        while len(self._buffer) >= _PAYLOAD:
+            self._flush_page(self._buffer[:_PAYLOAD])
+            del self._buffer[:_PAYLOAD]
+
+    def _flush_page(self, chunk: bytes) -> None:
+        page_no = self._pagefile.allocate()
+        self._pagefile.write_page(page_no, bytes(chunk))
+        self._pages.append(page_no)
+
+    def finish(self) -> list[int]:
+        """Flush the tail; returns the ordered page numbers."""
+        if self._buffer:
+            self._flush_page(bytes(self._buffer))
+            self._buffer.clear()
+        return self._pages
+
+
+class PagedReader:
+    """Reassembles a byte stream from an ordered page list."""
+
+    def __init__(self, pagefile: PageFile, pages: list[int]):
+        self._pagefile = pagefile
+        self._pages = pages
+
+    def read_all(self) -> bytes:
+        parts = []
+        for page_no in self._pages:
+            page_type, payload = self._pagefile.read_page(page_no)
+            if page_type != PT_DATA:
+                raise PageError(
+                    f"page {page_no} is not a data page (type {page_type})")
+            parts.append(payload)
+        return b"".join(parts)

@@ -1,0 +1,172 @@
+"""The compressed repository: everything one document shreds into.
+
+Provides the compressed data access methods and the compression-specific
+utilities the query processor builds on (paper §1.1, module 2), plus the
+size accounting behind the compression-factor experiments (§5) and the
+occupancy breakdown of §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ContainerNotFoundError
+from repro.storage.containers import ValueContainer
+from repro.storage.name_dictionary import NameDictionary
+from repro.storage.statistics import DocumentStatistics
+from repro.storage.structure import StructureTree
+from repro.storage.summary import TEXT_STEP, StructureSummary, SummaryNode
+
+
+@dataclass(frozen=True)
+class SizeReport:
+    """Byte sizes of each storage component (paper §2.2 accounting)."""
+
+    name_dictionary: int
+    structure_records: int
+    structure_index: int
+    container_data: int
+    source_models: int
+    summary: int
+    original: int
+    #: bytes of the redundant parent pointers inside structure records
+    #: and containers — "backward edges", part of the access support.
+    backward_edges: int = 0
+
+    @property
+    def total(self) -> int:
+        """Everything, access-support structures included."""
+        return (self.name_dictionary + self.structure_records
+                + self.structure_index + self.container_data
+                + self.source_models + self.summary)
+
+    @property
+    def essential(self) -> int:
+        """Without access support (§2.2): no B+ index, no structure
+        summary, no backward edges — the configuration the paper says
+        shrinks the database by a factor of 3 to 4 at the price of
+        deteriorated query performance."""
+        return max(self.total - self.structure_index - self.summary
+                   - self.backward_edges, 0)
+
+    @property
+    def compression_factor(self) -> float:
+        """The paper's CF = 1 - cs/os over the full repository."""
+        if self.original <= 0:
+            return 0.0
+        return 1.0 - self.total / self.original
+
+
+class CompressedRepository:
+    """One compressed, queryable document."""
+
+    def __init__(self, dictionary: NameDictionary,
+                 structure: StructureTree,
+                 summary: StructureSummary,
+                 containers: dict[str, ValueContainer],
+                 statistics: DocumentStatistics,
+                 original_size_bytes: int):
+        self.dictionary = dictionary
+        self.structure = structure
+        self.summary = summary
+        self._containers = containers
+        self.statistics = statistics
+        self.original_size_bytes = original_size_bytes
+
+    # -- container access ---------------------------------------------------
+
+    def container(self, path: str) -> ValueContainer:
+        """Container by path expression; raises ContainerNotFoundError."""
+        container = self._containers.get(path)
+        if container is None:
+            raise ContainerNotFoundError(
+                f"no container for path {path!r}")
+        return container
+
+    def containers(self) -> list[ValueContainer]:
+        """All containers, sorted by path."""
+        return [self._containers[p] for p in sorted(self._containers)]
+
+    def container_paths(self) -> list[str]:
+        """All container path expressions, sorted."""
+        return sorted(self._containers)
+
+    # -- node-level utilities used by operators and serialization ------------
+
+    def text_of(self, node_id: int) -> str:
+        """Concatenated decompressed text of a node's *direct* text
+        children (not descendants)."""
+        record = self.structure.record(node_id)
+        parts = []
+        for path, index in record.value_pointers:
+            if path.endswith("/" + TEXT_STEP):
+                parts.append(self._containers[path].value_at(index))
+        return "".join(parts)
+
+    def full_text_of(self, node_id: int) -> str:
+        """Concatenated text of the node's whole subtree (string value)."""
+        parts = [self.text_of(node_id)]
+        record = self.structure.record(node_id)
+        for child in record.children:
+            parts.append(self.full_text_of(child))
+        return "".join(parts)
+
+    def attribute_of(self, node_id: int, name: str) -> str | None:
+        """Decompressed value of attribute ``name``, or ``None``."""
+        record = self.structure.record(node_id)
+        suffix = "/@" + name
+        for path, index in record.value_pointers:
+            if path.endswith(suffix):
+                return self._containers[path].value_at(index)
+        return None
+
+    def tag_of(self, node_id: int) -> str:
+        """Element name of a node."""
+        return self.dictionary.name_of(
+            self.structure.record(node_id).tag_code)
+
+    def resolve_path(self, steps: list[tuple[str, str]]
+                     ) -> list[SummaryNode]:
+        """Resolve a path against the structure summary."""
+        return self.summary.resolve(steps)
+
+    # -- accounting -----------------------------------------------------------
+
+    def size_report(self) -> SizeReport:
+        """Byte sizes of every storage component."""
+        container_data = sum(c.data_size_bytes()
+                             for c in self._containers.values())
+        # Shared source models must be counted once, not per container.
+        seen_models: set[int] = set()
+        source_models = 0
+        for container in self._containers.values():
+            codec_id = id(container.codec)
+            if codec_id not in seen_models:
+                seen_models.add(codec_id)
+                source_models += container.model_size_bytes()
+        from repro.util.varint import varint_size
+        container_parent_bytes = 0
+        for container in self._containers.values():
+            for parent_id, _ in container.scan_decoded():
+                container_parent_bytes += varint_size(parent_id)
+        return SizeReport(
+            name_dictionary=self.dictionary.serialized_size_bytes(),
+            structure_records=self.structure.serialized_size_bytes(
+                tag_bits=self.dictionary.code_bits),
+            structure_index=self.structure.index_size_bytes(),
+            container_data=container_data,
+            source_models=source_models,
+            summary=self.summary.serialized_size_bytes(),
+            original=self.original_size_bytes,
+            backward_edges=self.structure.backward_edge_bytes()
+            + container_parent_bytes,
+        )
+
+    @property
+    def compression_factor(self) -> float:
+        """CF = 1 - cs/os including all access structures (paper §5)."""
+        return self.size_report().compression_factor
+
+    def __repr__(self) -> str:
+        return (f"<CompressedRepository {len(self.structure)} nodes, "
+                f"{len(self._containers)} containers>")

@@ -1,0 +1,365 @@
+"""Repository persistence: save/load over the paged file format.
+
+The paper's prototype keeps its structures in Berkeley DB; ours
+persists to a single :class:`~repro.storage.pages.PageFile` with one
+checksummed stream per storage component and a catalog page (page 0)
+mapping streams to their page ranges.  The format is fully binary —
+varints, length-prefixed strings, serialized codec models — and loads
+back into a repository whose compressed values are bit-identical (a
+requirement for compressed-domain equality across sessions).
+
+::
+
+    save_repository(repo, "auction.xqc")
+    repo = load_repository("auction.xqc")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.compression.serialization import (
+    deserialize_codec,
+    serialize_codec,
+)
+from repro.compression.base import CompressedValue
+from repro.errors import PageError
+from repro.storage.containers import ContainerRecord, ValueContainer
+from repro.storage.name_dictionary import NameDictionary
+from repro.storage.pages import PageFile, PagedReader, PagedWriter, \
+    PT_CATALOG
+from repro.storage.repository import CompressedRepository
+from repro.storage.statistics import DocumentStatistics
+from repro.storage.structure import NodeRecord, StructureTree
+from repro.storage.summary import StructureSummary, SummaryNode
+from repro.util.bytestream import ByteReader, ByteWriter
+
+_MAGIC = b"XQC1"
+_STREAMS = ("meta", "dictionary", "codecs", "containers", "structure",
+            "summary", "statistics")
+
+
+def save_repository(repository: CompressedRepository,
+                    path: str | Path) -> None:
+    """Write the repository to ``path`` (overwrites)."""
+    container_paths = repository.container_paths()
+    path_index = {p: i for i, p in enumerate(container_paths)}
+    codec_blobs, codec_of_container = _collect_codecs(repository,
+                                                      container_paths)
+    streams = {
+        "meta": _write_meta(repository),
+        "dictionary": _write_dictionary(repository.dictionary),
+        "codecs": _write_codecs(codec_blobs),
+        "containers": _write_containers(repository, container_paths,
+                                        codec_of_container),
+        "structure": _write_structure(repository.structure, path_index),
+        "summary": _write_summary(repository.summary, path_index),
+        "statistics": _write_statistics(repository.statistics),
+    }
+    with PageFile(path, create=True) as pagefile:
+        catalog_page = pagefile.allocate()  # reserve page 0
+        ranges: dict[str, tuple[int, int]] = {}
+        for name in _STREAMS:
+            writer = PagedWriter(pagefile)
+            writer.write(streams[name])
+            pages = writer.finish()
+            first = pages[0] if pages else 0
+            ranges[name] = (first, len(pages))
+        catalog = ByteWriter()
+        catalog.raw(_MAGIC)
+        catalog.varint(len(_STREAMS))
+        for name in _STREAMS:
+            first, count = ranges[name]
+            catalog.string(name)
+            catalog.varint(first)
+            catalog.varint(count)
+        pagefile.write_page(catalog_page, catalog.getvalue(),
+                            page_type=PT_CATALOG)
+
+
+def load_repository(path: str | Path) -> CompressedRepository:
+    """Read a repository previously written by :func:`save_repository`."""
+    with PageFile(path) as pagefile:
+        page_type, payload = pagefile.read_page(0)
+        if page_type != PT_CATALOG:
+            raise PageError("page 0 is not a catalog page")
+        catalog = ByteReader(payload)
+        if catalog.raw() != _MAGIC:
+            raise PageError("not an XQueC repository file")
+        ranges: dict[str, tuple[int, int]] = {}
+        for _ in range(catalog.varint()):
+            name = catalog.string()
+            first = catalog.varint()
+            count = catalog.varint()
+            ranges[name] = (first, count)
+        streams = {}
+        for name in _STREAMS:
+            if name not in ranges:
+                raise PageError(f"stream {name!r} missing from catalog")
+            first, count = ranges[name]
+            pages = list(range(first, first + count))
+            streams[name] = PagedReader(pagefile, pages).read_all()
+
+    original_size = _read_meta(streams["meta"])
+    dictionary = _read_dictionary(streams["dictionary"])
+    codecs = _read_codecs(streams["codecs"])
+    containers, container_paths = _read_containers(
+        streams["containers"], codecs)
+    structure = _read_structure(streams["structure"], container_paths)
+    summary = _read_summary(streams["summary"], container_paths)
+    statistics = _read_statistics(streams["statistics"])
+    return CompressedRepository(
+        dictionary=dictionary,
+        structure=structure,
+        summary=summary,
+        containers=containers,
+        statistics=statistics,
+        original_size_bytes=original_size,
+    )
+
+
+# -- per-stream writers/readers ------------------------------------------------
+
+def _write_meta(repository: CompressedRepository) -> bytes:
+    return ByteWriter().varint(repository.original_size_bytes) \
+        .getvalue()
+
+
+def _read_meta(data: bytes) -> int:
+    return ByteReader(data).varint()
+
+
+def _write_dictionary(dictionary: NameDictionary) -> bytes:
+    writer = ByteWriter()
+    names = dictionary.names()
+    writer.varint(len(names))
+    for name in names:
+        writer.string(name)
+    return writer.getvalue()
+
+
+def _read_dictionary(data: bytes) -> NameDictionary:
+    reader = ByteReader(data)
+    dictionary = NameDictionary()
+    for _ in range(reader.varint()):
+        dictionary.intern(reader.string())
+    return dictionary
+
+
+def _collect_codecs(repository: CompressedRepository,
+                    container_paths: list[str]
+                    ) -> tuple[list[bytes], dict[str, int]]:
+    """Dedup shared source models: one blob per distinct codec."""
+    blobs: list[bytes] = []
+    index_by_id: dict[int, int] = {}
+    codec_of_container: dict[str, int] = {}
+    for path in container_paths:
+        codec = repository.container(path).codec
+        key = id(codec)
+        if key not in index_by_id:
+            index_by_id[key] = len(blobs)
+            blobs.append(serialize_codec(codec))
+        codec_of_container[path] = index_by_id[key]
+    return blobs, codec_of_container
+
+
+def _write_codecs(blobs: list[bytes]) -> bytes:
+    writer = ByteWriter()
+    writer.varint(len(blobs))
+    for blob in blobs:
+        writer.raw(blob)
+    return writer.getvalue()
+
+
+def _read_codecs(data: bytes) -> list:
+    reader = ByteReader(data)
+    return [deserialize_codec(reader.raw())
+            for _ in range(reader.varint())]
+
+
+def _write_containers(repository: CompressedRepository,
+                      container_paths: list[str],
+                      codec_of_container: dict[str, int]) -> bytes:
+    writer = ByteWriter()
+    writer.varint(len(container_paths))
+    for path in container_paths:
+        container = repository.container(path)
+        writer.string(path)
+        writer.string(container.value_type)
+        writer.varint(codec_of_container[path])
+        if container.is_blob:
+            writer.byte(1)
+            writer.raw(container._blob)  # sealed blob bytes
+            assert container._blob_parents is not None
+            writer.varint(len(container._blob_parents))
+            for parent in container._blob_parents:
+                writer.varint(parent)
+        else:
+            writer.byte(0)
+            writer.varint(len(container))
+            for record in container._records:
+                # Payload length is implied by the bit count.
+                writer.varint(record.compressed.bits)
+                writer.exact(record.compressed.data)
+                writer.varint(record.parent_id)
+    return writer.getvalue()
+
+
+def _read_containers(data: bytes, codecs: list
+                     ) -> tuple[dict[str, ValueContainer], list[str]]:
+    reader = ByteReader(data)
+    containers: dict[str, ValueContainer] = {}
+    paths: list[str] = []
+    for _ in range(reader.varint()):
+        path = reader.string()
+        value_type = reader.string()
+        codec = codecs[reader.varint()]
+        paths.append(path)
+        if reader.byte():
+            blob = reader.raw()
+            parents = [reader.varint()
+                       for _ in range(reader.varint())]
+            values = codec.decode_many(blob)
+            containers[path] = ValueContainer.from_blob(
+                path, value_type, codec, blob, values, parents)
+        else:
+            records = []
+            for _ in range(reader.varint()):
+                bits = reader.varint()
+                payload = reader.exact((bits + 7) // 8)
+                parent = reader.varint()
+                records.append(ContainerRecord(
+                    CompressedValue(payload, bits), parent))
+            containers[path] = ValueContainer.from_records(
+                path, value_type, codec, records)
+    return containers, paths
+
+
+def _write_structure(structure: StructureTree,
+                     path_index: dict[str, int]) -> bytes:
+    writer = ByteWriter()
+    writer.varint(len(structure))
+    for record in structure:
+        writer.varint(record.tag_code)
+        writer.varint(record.node_id - record.parent_id
+                      if record.parent_id >= 0 else 0)
+        writer.varint(record.post)
+        writer.varint(record.level)
+        writer.varint(len(record.value_pointers))
+        for path, offset in record.value_pointers:
+            writer.varint(path_index[path])
+            writer.varint(offset)
+        writer.varint(len(record.content_sequence))
+        for kind, ref in record.content_sequence:
+            writer.byte(0 if kind == "elem" else 1)
+            writer.varint(ref)
+    return writer.getvalue()
+
+
+def _read_structure(data: bytes,
+                    container_paths: list[str]) -> StructureTree:
+    reader = ByteReader(data)
+    structure = StructureTree()
+    count = reader.varint()
+    for node_id in range(count):
+        tag_code = reader.varint()
+        parent_delta = reader.varint()
+        parent_id = node_id - parent_delta if parent_delta else -1
+        if node_id == 0:
+            parent_id = -1
+        post = reader.varint()
+        level = reader.varint()
+        pointers = []
+        for _ in range(reader.varint()):
+            pointers.append((container_paths[reader.varint()],
+                             reader.varint()))
+        content = []
+        for _ in range(reader.varint()):
+            kind = "elem" if reader.byte() == 0 else "text"
+            content.append((kind, reader.varint()))
+        record = NodeRecord(node_id, tag_code, parent_id, post=post,
+                            level=level, value_pointers=pointers,
+                            content_sequence=content)
+        structure.add(record)
+        if parent_id >= 0:
+            structure.record(parent_id).children.append(node_id)
+    return structure
+
+
+def _write_summary(summary: StructureSummary,
+                   path_index: dict[str, int]) -> bytes:
+    writer = ByteWriter()
+
+    def write_node(node: SummaryNode) -> None:
+        writer.string(node.step)
+        writer.varint(len(node.extent))
+        previous = 0
+        for value in node.extent:
+            writer.varint(value - previous)
+            previous = value
+        writer.signed(path_index[node.container_path]
+                      if node.container_path is not None else -1)
+        writer.varint(len(node.children))
+        for step in sorted(node.children):
+            write_node(node.children[step])
+
+    write_node(summary.root)
+    return writer.getvalue()
+
+
+def _read_summary(data: bytes,
+                  container_paths: list[str]) -> StructureSummary:
+    reader = ByteReader(data)
+    summary = StructureSummary()
+
+    def read_into(node: SummaryNode) -> None:
+        node.step = reader.string()
+        extent = []
+        previous = 0
+        for _ in range(reader.varint()):
+            previous += reader.varint()
+            extent.append(previous)
+        node.extent = extent
+        container = reader.signed()
+        if container >= 0:
+            node.container_path = container_paths[container]
+        for _ in range(reader.varint()):
+            child = SummaryNode("", node)
+            read_into(child)
+            node.children[child.step] = child
+
+    read_into(summary.root)
+    return summary
+
+
+def _write_statistics(statistics: DocumentStatistics) -> bytes:
+    writer = ByteWriter()
+    writer.varint(statistics.element_count)
+    writer.varint(statistics.attribute_count)
+    writer.varint(statistics.text_count)
+    writer.varint(statistics.max_depth)
+    for counter in (statistics.tag_cardinality,
+                    statistics.path_cardinality,
+                    statistics._fanout_sum):
+        writer.varint(len(counter))
+        for key, value in sorted(counter.items()):
+            writer.string(key)
+            writer.varint(value)
+    return writer.getvalue()
+
+
+def _read_statistics(data: bytes) -> DocumentStatistics:
+    reader = ByteReader(data)
+    statistics = DocumentStatistics(
+        element_count=reader.varint(),
+        attribute_count=reader.varint(),
+        text_count=reader.varint(),
+        max_depth=reader.varint(),
+    )
+    for counter in (statistics.tag_cardinality,
+                    statistics.path_cardinality,
+                    statistics._fanout_sum):
+        for _ in range(reader.varint()):
+            key = reader.string()
+            counter[key] = reader.varint()
+    return statistics

@@ -1,0 +1,52 @@
+"""Simple fan-out and cardinality statistics gathered at load time.
+
+The paper's loader "gathers simple fan-out and cardinality statistics
+(e.g. number of person elements)" (§2.2); the optimizer's cost estimates
+read them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DocumentStatistics:
+    """Per-document counters filled in by the loader."""
+
+    element_count: int = 0
+    attribute_count: int = 0
+    text_count: int = 0
+    max_depth: int = 0
+    #: elements per tag name, e.g. ``person -> 255``.
+    tag_cardinality: Counter = field(default_factory=Counter)
+    #: elements per distinct path.
+    path_cardinality: Counter = field(default_factory=Counter)
+    #: summed child-element count per tag (fan-out numerator).
+    _fanout_sum: Counter = field(default_factory=Counter)
+
+    def record_element(self, tag: str, path: str, depth: int) -> None:
+        self.element_count += 1
+        self.tag_cardinality[tag] += 1
+        self.path_cardinality[path] += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    def record_child(self, parent_tag: str) -> None:
+        self._fanout_sum[parent_tag] += 1
+
+    def average_fanout(self, tag: str) -> float:
+        """Mean number of element children of ``tag`` elements."""
+        count = self.tag_cardinality.get(tag, 0)
+        if count == 0:
+            return 0.0
+        return self._fanout_sum.get(tag, 0) / count
+
+    def cardinality(self, tag: str) -> int:
+        """Number of elements with tag ``tag``."""
+        return self.tag_cardinality.get(tag, 0)
+
+    def path_count(self, path: str) -> int:
+        """Number of nodes reachable by the exact path ``path``."""
+        return self.path_cardinality.get(path, 0)

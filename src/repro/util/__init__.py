@@ -1,0 +1,5 @@
+"""Shared low-level utilities: bit I/O, text helpers, simple statistics."""
+
+from repro.util.bits import BitReader, BitWriter, bits_to_bytes, bytes_to_bits
+
+__all__ = ["BitReader", "BitWriter", "bits_to_bytes", "bytes_to_bits"]

@@ -1,0 +1,51 @@
+"""Simple descriptive statistics used by the cost model and the reports."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+
+def shannon_entropy(values: Iterable[str]) -> float:
+    """Per-character Shannon entropy (bits/char) of a string collection.
+
+    This is the lower bound a character-level entropy coder (Huffman,
+    arithmetic) can approach; the cost model uses it to estimate storage
+    cost per codec.
+    """
+    counts: Counter = Counter()
+    for value in values:
+        counts.update(value)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for n in counts.values():
+        p = n / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def geometric_mean(xs: Sequence[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    if not xs:
+        return 0.0
+    log_sum = 0.0
+    for x in xs:
+        if x <= 0:
+            raise ValueError("geometric mean requires positive values")
+        log_sum += math.log(x)
+    return math.exp(log_sum / len(xs))
+
+
+def compression_factor(original_size: int, compressed_size: int) -> float:
+    """The paper's CF = 1 - cs/os (higher is better, as a fraction)."""
+    if original_size <= 0:
+        return 0.0
+    return 1.0 - compressed_size / original_size

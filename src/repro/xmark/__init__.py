@@ -1,0 +1,25 @@
+"""XMark workload substrate [Schmidt et al., VLDB 2002].
+
+A deterministic reimplementation of the ``xmlgen`` auction-site
+document generator (:mod:`repro.xmark.generator`), the query subset the
+paper's Figure 7 measures (:mod:`repro.xmark.queries`), and synthetic
+stand-ins for the real-life corpus of Table 1
+(:mod:`repro.xmark.datasets`).
+"""
+
+from repro.xmark.datasets import (
+    generate_baseball,
+    generate_shakespeare,
+    generate_washington_course,
+)
+from repro.xmark.generator import generate_xmark
+from repro.xmark.queries import XMARK_QUERIES, query_text
+
+__all__ = [
+    "XMARK_QUERIES",
+    "generate_baseball",
+    "generate_shakespeare",
+    "generate_washington_course",
+    "generate_xmark",
+    "query_text",
+]

@@ -1,0 +1,130 @@
+"""Synthetic stand-ins for the real-life corpus of Table 1.
+
+The paper measures compression factors on three public documents we
+cannot ship: ``Shakespeare.xml`` (7.3 MB — the 37 marked-up plays),
+``Washington-Course.xml`` (1.9 MB of university course records) and
+``Baseball.xml`` (1.1 MB of 1998 player statistics).  Each generator
+below reproduces the *statistical shape* that drives compression
+behaviour — prose-heavy vs record-like vs numeric-heavy values, tag
+repertoire, value share of total size — which is what makes the
+Figure 6 (left) comparison meaningful (see DESIGN.md §3 for the
+substitution argument).
+
+``factor=1.0`` approximates the original sizes; tests and benches use
+smaller factors.
+"""
+
+from __future__ import annotations
+
+from repro.xmark.text_source import TextSource
+
+
+def generate_shakespeare(factor: float = 1.0, seed: int = 7) -> str:
+    """Plays: acts/scenes/speeches — long natural-language lines."""
+    source = TextSource(seed)
+    plays = max(1, int(round(37 * factor)))
+    parts = ["<plays>"]
+    for _ in range(plays):
+        parts.append("<play>")
+        parts.append(f"<title>{source.sentence(3, 6).title()}</title>")
+        for act_no in range(1, 6):
+            parts.append(f"<act><acttitle>ACT {act_no}</acttitle>")
+            for scene_no in range(1, 7):
+                parts.append("<scene>"
+                             f"<scenetitle>SCENE {scene_no}</scenetitle>")
+                parts.append(f"<stagedir>{source.sentence(4, 10)}"
+                             "</stagedir>")
+                for _ in range(source.randint(12, 28)):
+                    speaker = source.person_name().split()[0].upper()
+                    parts.append("<speech>")
+                    parts.append(f"<speaker>{speaker}</speaker>")
+                    for _ in range(source.randint(2, 8)):
+                        parts.append(f"<line>{source.sentence(6, 14)}"
+                                     "</line>")
+                    parts.append("</speech>")
+                parts.append("</scene>")
+            parts.append("</act>")
+        parts.append("</play>")
+    parts.append("</plays>")
+    return "\n".join(parts)
+
+
+_DEPARTMENTS = ("CSE", "MATH", "PHYS", "CHEM", "BIOL", "HIST", "ECON",
+                "PSYCH", "LING", "STAT")
+_DAYS = ("MWF", "TTh", "MW", "F", "Daily")
+
+
+def generate_washington_course(factor: float = 1.0, seed: int = 11
+                               ) -> str:
+    """University course catalogue: short record-like fields."""
+    source = TextSource(seed)
+    courses = max(5, int(round(5500 * factor)))
+    parts = ["<root>"]
+    for i in range(courses):
+        dept = source.choice(_DEPARTMENTS)
+        number = 100 + (i % 500)
+        parts.append("<course>")
+        parts.append(f"<code>{dept} {number}</code>")
+        parts.append(f"<title>{source.sentence(2, 6).title()}</title>")
+        parts.append(f"<credits>{source.randint(1, 5)}</credits>")
+        parts.append(f"<instructor>{source.person_name()}</instructor>")
+        parts.append("<sln>" + str(10000 + i) + "</sln>")
+        parts.append(f"<days>{source.choice(_DAYS)}</days>")
+        parts.append(f"<room>{source.choice(_DEPARTMENTS)}"
+                     f"{source.randint(100, 499)}</room>")
+        parts.append(f"<limit>{source.randint(10, 300)}</limit>")
+        parts.append(f"<description>{source.sentence(12, 35)}"
+                     "</description>")
+        parts.append("</course>")
+    parts.append("</root>")
+    return "\n".join(parts)
+
+
+_TEAMS = ("Falcons", "Hawks", "Lions", "Bears", "Sharks", "Wolves",
+          "Eagles", "Tigers", "Bulls", "Rams")
+_POSITIONS = ("Pitcher", "Catcher", "First Base", "Second Base",
+              "Third Base", "Shortstop", "Outfield")
+#: per-player numeric stat fields (the real file has dozens).
+_STATS = ("games", "at_bats", "runs", "hits", "doubles", "triples",
+          "home_runs", "rbi", "walks", "strikeouts", "stolen_bases",
+          "caught_stealing", "errors", "put_outs", "assists")
+
+
+def generate_baseball(factor: float = 1.0, seed: int = 13) -> str:
+    """Player statistics: numeric-heavy records with many stat fields."""
+    source = TextSource(seed)
+    players = max(5, int(round(2300 * factor)))
+    parts = ["<season><year>1998</year>"]
+    per_team = max(1, players // len(_TEAMS))
+    for league, teams in (("National", _TEAMS[:5]), ("American",
+                                                     _TEAMS[5:])):
+        parts.append(f"<league><name>{league}</name>")
+        for team in teams:
+            parts.append(f"<team><name>{team}</name>"
+                         f"<city>{source.city()}</city>")
+            for _ in range(per_team):
+                name = source.person_name().split()
+                parts.append("<player>")
+                parts.append(f"<given_name>{name[0]}</given_name>")
+                parts.append(f"<surname>{name[1]}</surname>")
+                parts.append(f"<position>{source.choice(_POSITIONS)}"
+                             "</position>")
+                for stat in _STATS:
+                    parts.append(f"<{stat}>{source.randint(0, 650)}"
+                                 f"</{stat}>")
+                parts.append("<average>"
+                             f"{round(source.uniform(0.150, 0.350), 3)}"
+                             "</average>")
+                parts.append("</player>")
+            parts.append("</team>")
+        parts.append("</league>")
+    parts.append("</season>")
+    return "\n".join(parts)
+
+
+#: Table 1 registry: name -> (generator, full-size factor, paper MB).
+TABLE1_DATASETS = {
+    "Shakespeare": (generate_shakespeare, 1.0, 7.3),
+    "WashingtonCourse": (generate_washington_course, 1.0, 1.9),
+    "Baseball": (generate_baseball, 1.0, 1.1),
+}

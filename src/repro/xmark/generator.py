@@ -1,0 +1,176 @@
+"""An ``xmlgen`` work-alike: deterministic XMark auction documents.
+
+Follows the simplified XMark structure of the paper's Figure 1: a
+``site`` with regions/items, categories, people, open auctions (with
+bidders) and closed auctions; IDREF attributes (``person``, ``item``,
+``category``) wire the references the join queries (Q8/Q9) traverse.
+
+``factor`` scales all entity counts linearly; ``factor=1.0`` produces
+a document of roughly 11 MB — the paper's XMark11 — and the 1 MB-25 MB
+sweep of Figure 6 (right) maps to factors ~0.09-2.3.
+"""
+
+from __future__ import annotations
+
+from repro.xmark.text_source import TextSource
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica",
+           "samerica")
+
+#: entity counts at factor 1.0, calibrated so the generated text is
+#: roughly 11 MB — the paper's XMark11 document.
+BASE_COUNTS = {
+    "people": 6000,
+    "items": 5100,   # spread over the six regions
+    "categories": 240,
+    "open_auctions": 2800,
+    "closed_auctions": 2300,
+}
+
+
+def generate_xmark(factor: float = 0.1, seed: int = 42) -> str:
+    """Generate one auction document; returns the XML text."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    source = TextSource(seed)
+    counts = {name: max(2, int(round(base * factor)))
+              for name, base in BASE_COUNTS.items()}
+    parts: list[str] = ["<site>"]
+    _regions(parts, source, counts["items"], counts["categories"])
+    _categories(parts, source, counts["categories"])
+    _people(parts, source, counts["people"], counts["categories"])
+    _open_auctions(parts, source, counts["open_auctions"],
+                   counts["people"], counts["items"])
+    _closed_auctions(parts, source, counts["closed_auctions"],
+                     counts["people"], counts["items"])
+    parts.append("</site>")
+    return "\n".join(parts)
+
+
+def _regions(parts: list[str], source: TextSource, item_count: int,
+             category_count: int) -> None:
+    parts.append("<regions>")
+    item_id = 0
+    per_region = [item_count // len(REGIONS)] * len(REGIONS)
+    for i in range(item_count % len(REGIONS)):
+        per_region[i] += 1
+    for region, count in zip(REGIONS, per_region):
+        parts.append(f"<{region}>")
+        for _ in range(count):
+            _item(parts, source, item_id, category_count)
+            item_id += 1
+        parts.append(f"</{region}>")
+    parts.append("</regions>")
+
+
+def _item(parts: list[str], source: TextSource, item_id: int,
+          category_count: int) -> None:
+    category = source.randint(0, max(category_count - 1, 0))
+    parts.append(f'<item id="item{item_id}">')
+    parts.append(f"<location>{source.country()}</location>")
+    parts.append(f"<quantity>{source.randint(1, 10)}</quantity>")
+    parts.append(f"<name>{source.sentence(2, 4)}</name>")
+    parts.append(f"<payment>{source.choice(('Cash', 'Check', 'Credit'))}"
+                 "</payment>")
+    parts.append("<description><text>"
+                 f"{source.paragraph(120, 360)}</text></description>")
+    parts.append(f"<shipping>{source.sentence(3, 8)}</shipping>")
+    parts.append(f'<incategory category="category{category}"/>')
+    parts.append("</item>")
+
+
+def _categories(parts: list[str], source: TextSource,
+                count: int) -> None:
+    parts.append("<categories>")
+    for i in range(count):
+        parts.append(f'<category id="category{i}">')
+        parts.append(f"<name>{source.sentence(1, 3)}</name>")
+        parts.append("<description><text>"
+                     f"{source.paragraph(80, 200)}</text></description>")
+        parts.append("</category>")
+    parts.append("</categories>")
+
+
+def _people(parts: list[str], source: TextSource, count: int,
+            category_count: int) -> None:
+    parts.append("<people>")
+    for i in range(count):
+        name = source.person_name()
+        parts.append(f'<person id="person{i}">')
+        parts.append(f"<name>{name}</name>")
+        parts.append(f"<emailaddress>{source.email(name)}"
+                     "</emailaddress>")
+        if source.random() < 0.6:
+            parts.append(f"<phone>{source.phone()}</phone>")
+        if source.random() < 0.7:
+            parts.append("<address>"
+                         f"<street>{source.street()}</street>"
+                         f"<city>{source.city()}</city>"
+                         f"<country>{source.country()}</country>"
+                         f"<zipcode>{source.zipcode()}</zipcode>"
+                         "</address>")
+        if source.random() < 0.8:
+            income = round(source.uniform(9000, 250000), 2)
+            category = source.randint(0, max(category_count - 1, 0))
+            parts.append(f'<profile income="{income}">')
+            parts.append(f'<interest category="category{category}"/>')
+            parts.append(f"<education>{source.education()}</education>")
+            parts.append(f"<age>{source.randint(18, 90)}</age>")
+            parts.append("</profile>")
+        parts.append("</person>")
+    parts.append("</people>")
+
+
+def _open_auctions(parts: list[str], source: TextSource, count: int,
+                   people: int, items: int) -> None:
+    parts.append("<open_auctions>")
+    for i in range(count):
+        initial = round(source.uniform(1.0, 100.0), 2)
+        parts.append(f'<open_auction id="open_auction{i}">')
+        parts.append(f"<initial>{initial}</initial>")
+        current = initial
+        for _ in range(source.randint(0, 5)):
+            increase = round(source.uniform(1.0, 30.0), 2)
+            current = round(current + increase, 2)
+            bidder = source.randint(0, people - 1)
+            parts.append("<bidder>"
+                         f"<date>{source.date()}</date>"
+                         f'<personref person="person{bidder}"/>'
+                         f"<increase>{increase}</increase>"
+                         "</bidder>")
+        parts.append(f"<current>{current}</current>")
+        parts.append(f'<itemref item="item{source.randint(0, items - 1)}"/>')
+        parts.append(f'<seller person="person{source.randint(0, people - 1)}"/>')
+        parts.append(f"<quantity>{source.randint(1, 5)}</quantity>")
+        parts.append(f"<type>{source.choice(('Regular', 'Featured'))}"
+                     "</type>")
+        parts.append("<interval>"
+                     f"<start>{source.date()}</start>"
+                     f"<end>{source.date()}</end>"
+                     "</interval>")
+        parts.append("</open_auction>")
+    parts.append("</open_auctions>")
+
+
+def _closed_auctions(parts: list[str], source: TextSource, count: int,
+                     people: int, items: int) -> None:
+    parts.append("<closed_auctions>")
+    for _ in range(count):
+        seller = source.randint(0, people - 1)
+        buyer = source.randint(0, people - 1)
+        item = source.randint(0, items - 1)
+        parts.append("<closed_auction>")
+        parts.append(f'<seller person="person{seller}"/>')
+        parts.append(f'<buyer person="person{buyer}"/>')
+        parts.append(f'<itemref item="item{item}"/>')
+        parts.append(f"<price>{round(source.uniform(5.0, 300.0), 2)}"
+                     "</price>")
+        parts.append(f"<date>{source.date()}</date>")
+        parts.append(f"<quantity>{source.randint(1, 5)}</quantity>")
+        parts.append(f"<type>{source.choice(('Regular', 'Featured'))}"
+                     "</type>")
+        parts.append("<annotation><description><text>"
+                     f"{source.paragraph(60, 240)}</text></description>"
+                     "</annotation>")
+        parts.append("</closed_auction>")
+    parts.append("</closed_auctions>")

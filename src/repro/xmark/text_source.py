@@ -1,0 +1,133 @@
+"""Deterministic text sources for the synthetic documents.
+
+``xmlgen`` fills item descriptions with Shakespeare-derived prose; we
+embed a compact vocabulary with a Zipf-ish rank distribution so the
+generated text has natural-language statistics (the property the
+compression experiments depend on), while staying deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: words ordered by (approximate) descending natural frequency.
+VOCABULARY = (
+    "the and to of a in that is was he for it with as his on be at by i "
+    "this had not are but from or have an they which one you were her "
+    "all she there would their we him been has when who will more no if "
+    "out so said what up its about into than them can only other new "
+    "some could time these two may then do first any my now such like "
+    "our over man me even most made after also did many before must "
+    "through back years where much your way well down should because "
+    "each just those people mr how too little state good very make "
+    "world still own see men work long get here between both life being "
+    "under never day same another know while last might us great old "
+    "year off come since against go came right used take three states "
+    "himself few house use during without again place american around "
+    "however home small found mrs thought went say part once general "
+    "high upon school every don't does got united left number course "
+    "war until always away something fact though water less public put "
+    "thing almost hand enough far took head yet government system "
+    "better set told nothing night end why called didn't eyes find "
+    "going look asked later knew point next city business give group "
+    "toward young days let room within done love sword crown king queen "
+    "noble tide affairs fortune stage players exits entrances gold "
+    "silver serpent tooth winter discontent glorious summer "
+).split()
+
+FIRST_NAMES = (
+    "James John Robert Michael William David Richard Joseph Thomas "
+    "Charles Mary Patricia Jennifer Linda Elizabeth Barbara Susan "
+    "Jessica Sarah Karen Umberto Takeshi Ravi Ingrid Pierre Chen "
+    "Fatima Olga Sven Paulo"
+).split()
+
+LAST_NAMES = (
+    "Smith Johnson Williams Brown Jones Garcia Miller Davis Rodriguez "
+    "Martinez Hernandez Lopez Gonzalez Wilson Anderson Thomas Taylor "
+    "Moore Jackson Martin Nakamura Rossi Mueller Dubois Kowalski "
+    "Petrov Yamada Okafor Singh Larsen"
+).split()
+
+CITIES = (
+    "Paris Lyon Rome Milan Berlin Hamburg Madrid Porto Vienna Prague "
+    "Tokyo Osaka Sydney Perth Toronto Boston Chicago Denver Austin "
+    "Seattle"
+).split()
+
+COUNTRIES = (
+    "France Italy Germany Spain Portugal Austria Czechia Japan "
+    "Australia Canada"
+).split()
+
+EDUCATION_LEVELS = ("High School", "College", "Graduate School",
+                    "Other")
+
+
+class TextSource:
+    """Seeded generator of names, prose, dates and addresses."""
+
+    def __init__(self, seed: int = 42):
+        self._rng = random.Random(seed)
+        # Zipf-like weights over the rank-ordered vocabulary.
+        self._weights = [1.0 / (rank + 1)
+                         for rank in range(len(VOCABULARY))]
+
+    def words(self, count: int) -> str:
+        """A pseudo-sentence of ``count`` vocabulary words."""
+        picked = self._rng.choices(VOCABULARY, weights=self._weights,
+                                   k=count)
+        return " ".join(picked)
+
+    def sentence(self, min_words: int = 8, max_words: int = 25) -> str:
+        return self.words(self._rng.randint(min_words, max_words))
+
+    def paragraph(self, min_words: int = 20, max_words: int = 80) -> str:
+        return self.words(self._rng.randint(min_words, max_words))
+
+    def person_name(self) -> str:
+        return (f"{self._rng.choice(FIRST_NAMES)} "
+                f"{self._rng.choice(LAST_NAMES)}")
+
+    def email(self, name: str) -> str:
+        user = name.lower().replace(" ", ".")
+        host = self._rng.choice(["mail", "inbox", "post", "box"])
+        return f"{user}@{host}.example.com"
+
+    def phone(self) -> str:
+        return (f"+{self._rng.randint(1, 99)} "
+                f"({self._rng.randint(100, 999)}) "
+                f"{self._rng.randint(1000000, 9999999)}")
+
+    def street(self) -> str:
+        return (f"{self._rng.randint(1, 99)} "
+                f"{self._rng.choice(LAST_NAMES)} St")
+
+    def city(self) -> str:
+        return self._rng.choice(CITIES)
+
+    def country(self) -> str:
+        return self._rng.choice(COUNTRIES)
+
+    def zipcode(self) -> str:
+        return str(self._rng.randint(10000, 99999))
+
+    def date(self) -> str:
+        return (f"{self._rng.randint(1, 12):02d}/"
+                f"{self._rng.randint(1, 28):02d}/"
+                f"{self._rng.randint(1998, 2003)}")
+
+    def education(self) -> str:
+        return self._rng.choice(EDUCATION_LEVELS)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def choice(self, options):
+        return self._rng.choice(options)
+
+    def random(self) -> float:
+        return self._rng.random()

@@ -1,0 +1,31 @@
+"""From-scratch XML layer: tokenizer, event stream, DOM, serializer.
+
+The XQueC loader consumes the event stream (:func:`iter_events`); the
+"Galax" baseline and the examples use the small DOM (:func:`parse`).
+"""
+
+from repro.xmlio.dom import Attribute, Document, Element, Text, parse
+from repro.xmlio.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    iter_events,
+)
+from repro.xmlio.writer import serialize
+
+__all__ = [
+    "Attribute",
+    "Characters",
+    "Document",
+    "Element",
+    "EndDocument",
+    "EndElement",
+    "StartDocument",
+    "StartElement",
+    "Text",
+    "iter_events",
+    "parse",
+    "serialize",
+]

@@ -1,0 +1,65 @@
+"""Entity escaping and unescaping for XML text and attribute values."""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace('"', "&quot;"))
+
+
+def resolve_entity(name: str, offset: int = -1) -> str:
+    """Resolve a named or numeric character reference (without ``&``/``;``)."""
+    if name in _NAMED_ENTITIES:
+        return _NAMED_ENTITIES[name]
+    if name.startswith("#x") or name.startswith("#X"):
+        try:
+            return chr(int(name[2:], 16))
+        except (ValueError, OverflowError):
+            raise XMLSyntaxError(f"bad character reference &{name};", offset)
+    if name.startswith("#"):
+        try:
+            return chr(int(name[1:]))
+        except (ValueError, OverflowError):
+            raise XMLSyntaxError(f"bad character reference &{name};", offset)
+    raise XMLSyntaxError(f"unknown entity &{name};", offset)
+
+
+def unescape(text: str) -> str:
+    """Replace entity and character references in ``text``."""
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference", i)
+        out.append(resolve_entity(text[i + 1:end], i))
+        i = end + 1
+    return "".join(out)

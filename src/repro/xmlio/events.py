@@ -1,0 +1,102 @@
+"""SAX-like event stream with well-formedness (tag balance) checking.
+
+:func:`iter_events` adapts the flat token stream of
+:mod:`repro.xmlio.tokenizer` into structural events, enforcing that end
+tags match start tags, that there is exactly one root element, and that no
+character data (other than whitespace) appears outside the root.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.tokenizer import Tokenizer, TokenType
+
+
+@dataclass(frozen=True, slots=True)
+class StartDocument:
+    """Emitted once before any other event."""
+
+
+@dataclass(frozen=True, slots=True)
+class EndDocument:
+    """Emitted once after the root element closes."""
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement:
+    """An opening (or self-closing) tag with its attributes."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement:
+    """A closing tag."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Characters:
+    """Character data between tags (entities already resolved)."""
+
+    text: str
+
+
+Event = StartDocument | EndDocument | StartElement | EndElement | Characters
+
+
+def iter_events(text: str, keep_whitespace: bool = False) -> Iterator[Event]:
+    """Yield structural events for an XML document string.
+
+    ``keep_whitespace`` controls whether whitespace-only character data
+    between elements is reported; value-only documents in this corpus never
+    need it, and dropping it matches how XPRESS-style compressors treat
+    ignorable whitespace.
+    """
+    yield StartDocument()
+    stack: list[str] = []
+    saw_root = False
+    for token in Tokenizer(text):
+        kind = token.type
+        if kind in (TokenType.COMMENT, TokenType.PI, TokenType.DOCTYPE):
+            continue
+        if kind == TokenType.START_TAG or kind == TokenType.EMPTY_TAG:
+            if not stack and saw_root:
+                raise XMLSyntaxError(
+                    f"second root element <{token.value}>", token.offset)
+            saw_root = True
+            yield StartElement(token.value, token.attributes)
+            if kind == TokenType.EMPTY_TAG:
+                yield EndElement(token.value)
+            else:
+                stack.append(token.value)
+        elif kind == TokenType.END_TAG:
+            if not stack:
+                raise XMLSyntaxError(
+                    f"unexpected end tag </{token.value}>", token.offset)
+            expected = stack.pop()
+            if expected != token.value:
+                raise XMLSyntaxError(
+                    f"end tag </{token.value}> does not match "
+                    f"<{expected}>", token.offset)
+            yield EndElement(token.value)
+        elif kind in (TokenType.TEXT, TokenType.CDATA):
+            if not stack:
+                if token.value.strip():
+                    raise XMLSyntaxError(
+                        "character data outside the root element",
+                        token.offset)
+                continue
+            if not keep_whitespace and not token.value.strip():
+                continue
+            yield Characters(token.value)
+    if stack:
+        raise XMLSyntaxError(f"unclosed element <{stack[-1]}>")
+    if not saw_root:
+        raise XMLSyntaxError("document has no root element")
+    yield EndDocument()

@@ -1,0 +1,229 @@
+"""A from-scratch XML tokenizer.
+
+Produces a flat stream of :class:`Token` objects from XML text.  Supports
+the constructs the corpus needs: prolog/XML declaration, processing
+instructions, comments, CDATA sections, elements with attributes
+(single- or double-quoted), character data with entity references, and
+DOCTYPE declarations (skipped, internal subsets included).
+
+The tokenizer is strict about well-formedness at the lexical level
+(tag syntax, attribute quoting, entity syntax); tag *balance* is enforced
+one level up by :mod:`repro.xmlio.events`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.escape import unescape
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+_WHITESPACE = " \t\r\n"
+
+
+class TokenType(Enum):
+    """Lexical classes emitted by :class:`Tokenizer`."""
+
+    START_TAG = auto()      # <name attr="v" ...>
+    END_TAG = auto()        # </name>
+    EMPTY_TAG = auto()      # <name attr="v" .../>
+    TEXT = auto()           # character data (entities resolved)
+    COMMENT = auto()        # <!-- ... -->
+    PI = auto()             # <?target data?>
+    CDATA = auto()          # <![CDATA[ ... ]]>
+    DOCTYPE = auto()        # <!DOCTYPE ...> (content skipped)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    ``value`` is the tag name for tags, the text payload for TEXT/CDATA/
+    COMMENT, and the raw declaration body for PI/DOCTYPE.  ``attributes``
+    is a tuple of (name, value) pairs in document order (tags only).
+    """
+
+    type: TokenType
+    value: str
+    attributes: tuple[tuple[str, str], ...] = ()
+    offset: int = 0
+
+
+class Tokenizer:
+    """Single-pass tokenizer over an XML string."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._n = len(text)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> Token:
+        token = self.next_token()
+        if token is None:
+            raise StopIteration
+        return token
+
+    def _error(self, message: str, offset: int | None = None) -> XMLSyntaxError:
+        at = self._pos if offset is None else offset
+        line = self._text.count("\n", 0, at) + 1
+        column = at - (self._text.rfind("\n", 0, at) + 1) + 1
+        return XMLSyntaxError(message, at, line, column)
+
+    def next_token(self) -> Token | None:
+        """Return the next token, or ``None`` at end of input."""
+        if self._pos >= self._n:
+            return None
+        if self._text[self._pos] == "<":
+            return self._read_markup()
+        return self._read_text()
+
+    # -- markup -----------------------------------------------------------
+
+    def _read_markup(self) -> Token:
+        text = self._text
+        start = self._pos
+        if text.startswith("<!--", start):
+            return self._read_comment(start)
+        if text.startswith("<![CDATA[", start):
+            return self._read_cdata(start)
+        if text.startswith("<!DOCTYPE", start):
+            return self._read_doctype(start)
+        if text.startswith("<?", start):
+            return self._read_pi(start)
+        if text.startswith("</", start):
+            return self._read_end_tag(start)
+        return self._read_start_tag(start)
+
+    def _read_comment(self, start: int) -> Token:
+        end = self._text.find("-->", start + 4)
+        if end == -1:
+            raise self._error("unterminated comment", start)
+        self._pos = end + 3
+        return Token(TokenType.COMMENT, self._text[start + 4:end],
+                     offset=start)
+
+    def _read_cdata(self, start: int) -> Token:
+        end = self._text.find("]]>", start + 9)
+        if end == -1:
+            raise self._error("unterminated CDATA section", start)
+        self._pos = end + 3
+        return Token(TokenType.CDATA, self._text[start + 9:end],
+                     offset=start)
+
+    def _read_doctype(self, start: int) -> Token:
+        # Skip to the matching '>' while honouring an internal subset [...].
+        depth = 0
+        i = start + 9
+        while i < self._n:
+            ch = self._text[i]
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                self._pos = i + 1
+                return Token(TokenType.DOCTYPE,
+                             self._text[start + 9:i].strip(), offset=start)
+            i += 1
+        raise self._error("unterminated DOCTYPE declaration", start)
+
+    def _read_pi(self, start: int) -> Token:
+        end = self._text.find("?>", start + 2)
+        if end == -1:
+            raise self._error("unterminated processing instruction", start)
+        self._pos = end + 2
+        return Token(TokenType.PI, self._text[start + 2:end], offset=start)
+
+    def _read_end_tag(self, start: int) -> Token:
+        self._pos = start + 2
+        name = self._read_name()
+        self._skip_whitespace()
+        if self._pos >= self._n or self._text[self._pos] != ">":
+            raise self._error(f"malformed end tag </{name}")
+        self._pos += 1
+        return Token(TokenType.END_TAG, name, offset=start)
+
+    def _read_start_tag(self, start: int) -> Token:
+        self._pos = start + 1
+        name = self._read_name()
+        attributes: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        while True:
+            self._skip_whitespace()
+            if self._pos >= self._n:
+                raise self._error(f"unterminated start tag <{name}", start)
+            ch = self._text[self._pos]
+            if ch == ">":
+                self._pos += 1
+                return Token(TokenType.START_TAG, name, tuple(attributes),
+                             offset=start)
+            if ch == "/":
+                if not self._text.startswith("/>", self._pos):
+                    raise self._error("expected '/>'")
+                self._pos += 2
+                return Token(TokenType.EMPTY_TAG, name, tuple(attributes),
+                             offset=start)
+            attr_name, attr_value = self._read_attribute()
+            if attr_name in seen:
+                raise self._error(
+                    f"duplicate attribute {attr_name!r} on <{name}>", start)
+            seen.add(attr_name)
+            attributes.append((attr_name, attr_value))
+
+    def _read_attribute(self) -> tuple[str, str]:
+        name = self._read_name()
+        self._skip_whitespace()
+        if self._pos >= self._n or self._text[self._pos] != "=":
+            raise self._error(f"attribute {name!r} missing '='")
+        self._pos += 1
+        self._skip_whitespace()
+        if self._pos >= self._n or self._text[self._pos] not in "\"'":
+            raise self._error(f"attribute {name!r} value must be quoted")
+        quote = self._text[self._pos]
+        self._pos += 1
+        end = self._text.find(quote, self._pos)
+        if end == -1:
+            raise self._error(f"unterminated value for attribute {name!r}")
+        raw = self._text[self._pos:end]
+        if "<" in raw:
+            raise self._error(f"'<' in value of attribute {name!r}")
+        self._pos = end + 1
+        return name, unescape(raw)
+
+    def _read_name(self) -> str:
+        start = self._pos
+        if start >= self._n or self._text[start] not in _NAME_START:
+            raise self._error("expected an XML name")
+        i = start + 1
+        while i < self._n and self._text[i] in _NAME_CHARS:
+            i += 1
+        self._pos = i
+        return self._text[start:i]
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < self._n and self._text[self._pos] in _WHITESPACE:
+            self._pos += 1
+
+    # -- character data ---------------------------------------------------
+
+    def _read_text(self) -> Token:
+        start = self._pos
+        end = self._text.find("<", start)
+        if end == -1:
+            end = self._n
+        raw = self._text[start:end]
+        self._pos = end
+        return Token(TokenType.TEXT, unescape(raw), offset=start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a whole document into a list (convenience for tests)."""
+    return list(Tokenizer(text))

@@ -1,0 +1,51 @@
+"""Serialize a DOM tree (or event stream) back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmlio.dom import Document, Element, Node, Text
+from repro.xmlio.escape import escape_attribute, escape_text
+
+
+def serialize(node: Document | Node, indent: str | None = None) -> str:
+    """Serialize a document, element, or text node to XML text.
+
+    ``indent=None`` produces compact output whose parse round-trips exactly
+    (no synthetic whitespace); passing e.g. ``"  "`` pretty-prints.
+    """
+    parts: list[str] = []
+    if isinstance(node, Document):
+        node = node.root
+    _write(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str], indent: str | None,
+           depth: int) -> None:
+    pad = "" if indent is None else indent * depth
+    newline = "" if indent is None else "\n"
+    if isinstance(node, Text):
+        parts.append(escape_text(node.value))
+        return
+    assert isinstance(node, Element)
+    parts.append(f"{pad}<{node.name}")
+    for attr in node.attributes:
+        parts.append(f' {attr.name}="{escape_attribute(attr.value)}"')
+    if not node.children:
+        parts.append(f"/>{newline}")
+        return
+    only_text = all(isinstance(c, Text) for c in node.children)
+    if only_text:
+        parts.append(">")
+        for child in node.children:
+            _write(child, parts, None, 0)
+        parts.append(f"</{node.name}>{newline}")
+        return
+    parts.append(f">{newline}")
+    for child in node.children:
+        if isinstance(child, Text) and indent is not None:
+            if not child.value.strip():
+                continue
+            parts.append(f"{pad}{indent}{escape_text(child.value)}{newline}")
+        else:
+            _write(child, parts, indent, depth + 1)
+    parts.append(f"{pad}</{node.name}>{newline}")

@@ -1,0 +1,72 @@
+"""Tests for the Galax stand-in (naive uncompressed engine)."""
+
+import pytest
+
+from repro.baselines.galax import GalaxEngine
+from repro.errors import QueryError
+
+DOC = """
+<site><people>
+  <person id="p0"><name>Alice</name><age>31</age></person>
+  <person id="p1"><name>Bob</name><age>27</age></person>
+</people>
+<auctions>
+  <auction><buyer person="p1"/><price>10</price></auction>
+  <auction><buyer person="p0"/><price>55</price></auction>
+</auctions></site>
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return GalaxEngine(DOC)
+
+
+class TestEvaluation:
+    def test_paths(self, engine):
+        assert engine.execute("/site/people/person/name/text()") == \
+            ["Alice", "Bob"]
+
+    def test_descendants(self, engine):
+        assert engine.execute("count(//person)") == [2.0]
+
+    def test_predicates(self, engine):
+        assert engine.execute(
+            '/site/people/person[@id = "p1"]/name/text()') == ["Bob"]
+
+    def test_flwor_join(self, engine):
+        result = engine.execute(
+            "for $p in /site/people/person, "
+            "$a in /site/auctions/auction "
+            "where $a/buyer/@person = $p/@id "
+            "return $a/price/text()")
+        assert sorted(result) == ["10", "55"]
+
+    def test_constructor(self, engine):
+        xml = engine.execute_to_xml(
+            'for $p in /site/people/person[1] '
+            'return <out n="{$p/name/text()}"/>')
+        assert xml == '<out n="Alice"/>'
+
+    def test_aggregates(self, engine):
+        assert engine.execute(
+            "sum(/site/auctions/auction/price/text())") == [65.0]
+
+    def test_unbound_var(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute("$nope")
+
+    def test_arithmetic_and_logic(self, engine):
+        assert engine.execute("(1 + 2) * 3")[0] == 9.0
+        assert engine.execute(
+            "for $p in /site/people/person "
+            "where $p/age/text() > 26 and $p/age/text() < 30 "
+            "return $p/name/text()") == ["Bob"]
+
+
+class TestNaivete:
+    """The profile that makes Galax's joins quadratic must hold."""
+
+    def test_no_stats_no_indexes(self, engine):
+        assert not hasattr(engine, "stats")
+        assert not hasattr(engine, "_index_cache")

@@ -1,0 +1,90 @@
+"""Tests for the XGrind baseline."""
+
+import pytest
+
+from repro.baselines.xgrind import XGrindDocument
+from repro.errors import UnsupportedFeatureError
+from repro.xmark.generator import generate_xmark
+
+DOC = """
+<site><people>
+  <person id="p0"><name>Alice</name><age>31</age></person>
+  <person id="p1"><name>Bob</name><age>27</age></person>
+  <person id="p2"><name>Alfred</name><age>45</age></person>
+</people></site>
+"""
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return XGrindDocument.compress(DOC)
+
+
+class TestQueries:
+    def test_exists(self, doc):
+        values = doc.query("/site/people/person/name")
+        assert values == ["Alice", "Bob", "Alfred"]
+
+    def test_exact_match_compressed(self, doc):
+        assert doc.query("/site/people/person/name", "=", "Bob") == \
+            ["Bob"]
+        assert doc.query("/site/people/person/name", "=", "Zoe") == []
+
+    def test_prefix_match_compressed(self, doc):
+        values = doc.query("/site/people/person/name", "startswith",
+                           "Al")
+        assert values == ["Alice", "Alfred"]
+
+    def test_attribute_query(self, doc):
+        assert doc.query("/site/people/person/@id", "=", "p1") == ["p1"]
+
+    def test_range_decompresses(self, doc):
+        values = doc.query("/site/people/person/age", ">", "30")
+        assert sorted(values) == ["31", "45"]
+
+    def test_wrong_path_no_results(self, doc):
+        assert doc.query("/site/people/name") == []
+
+
+class TestLimitations:
+    def test_no_descendant_axis(self, doc):
+        with pytest.raises(UnsupportedFeatureError):
+            doc.query("/site/*/person/name")
+
+    def test_no_joins(self, doc):
+        with pytest.raises(UnsupportedFeatureError):
+            doc.unsupported("joins")
+
+    def test_unknown_operator(self, doc):
+        with pytest.raises(UnsupportedFeatureError):
+            doc.query("/site/people/person/name", "~=", "x")
+
+
+class TestCompression:
+    def test_compression_factor_weakest(self):
+        text = generate_xmark(0.02, seed=3)
+        from repro.baselines.xmill import XMillArchive
+        xgrind = XGrindDocument.compress(text)
+        xmill = XMillArchive.compress(text)
+        assert 0.0 < xgrind.compression_factor < \
+            xmill.compression_factor
+
+    def test_homomorphic_token_count(self, doc):
+        # start/end per element plus one token per value: structure
+        # order is preserved in place.
+        assert doc.compressed_size > 0
+
+
+class TestHomomorphism:
+    def test_decompress_roundtrip(self):
+        from repro.xmlio.dom import parse
+        from repro.xmlio.writer import serialize
+        rebuilt = XGrindDocument.compress(DOC).decompress()
+        assert serialize(parse(rebuilt)) == serialize(parse(DOC))
+
+    def test_decompress_xmark(self):
+        from repro.xmlio.dom import parse
+        from repro.xmlio.writer import serialize
+        text = generate_xmark(0.005, seed=8)
+        rebuilt = XGrindDocument.compress(text).decompress()
+        assert serialize(parse(rebuilt)) == serialize(parse(text))

@@ -1,0 +1,62 @@
+"""Tests for the XMill baseline."""
+
+import pytest
+
+from repro.baselines.xmill import XMillArchive
+from repro.xmark.generator import generate_xmark
+from repro.xmlio.dom import parse
+from repro.xmlio.writer import serialize
+
+DOC = ("<site><people><person id='p0'><name>Alice</name></person>"
+       "<person id='p1'><name>Bob</name></person></people></site>")
+
+
+class TestRoundTrip:
+    def test_exact_reconstruction(self):
+        archive = XMillArchive.compress(DOC)
+        rebuilt = archive.decompress()
+        assert serialize(parse(rebuilt)) == serialize(parse(DOC))
+
+    def test_mixed_content(self):
+        doc = "<a>one<b>two</b>three</a>"
+        rebuilt = XMillArchive.compress(doc).decompress()
+        assert serialize(parse(rebuilt)) == serialize(parse(doc))
+
+    def test_escaping_survives(self):
+        doc = "<a x='&lt;&amp;'>a &amp; b</a>"
+        rebuilt = XMillArchive.compress(doc).decompress()
+        assert parse(rebuilt).root.attribute("x") == "<&"
+        assert parse(rebuilt).root.text() == "a & b"
+
+    def test_xmark_roundtrip(self):
+        text = generate_xmark(0.01, seed=3)
+        rebuilt = XMillArchive.compress(text).decompress()
+        assert serialize(parse(rebuilt)) == serialize(parse(text))
+
+
+class TestCompression:
+    def test_containers_grouped_by_path(self):
+        archive = XMillArchive.compress(DOC)
+        assert "/site/people/person/name/#text" in \
+            archive.container_paths()
+        assert "/site/people/person/@id" in archive.container_paths()
+
+    def test_compression_factor_strong_on_xmark(self):
+        text = generate_xmark(0.02, seed=3)
+        archive = XMillArchive.compress(text)
+        # XMill is the strongest compressor in the paper's Figure 6.
+        assert archive.compression_factor > 0.6
+
+    def test_sizes_consistent(self):
+        archive = XMillArchive.compress(DOC)
+        assert 0 < archive.compressed_size
+        assert archive.original_size == len(DOC.encode())
+
+
+class TestOpacity:
+    def test_no_query_interface(self):
+        """XMill's point: no selective access, only full decompression."""
+        archive = XMillArchive.compress(DOC)
+        assert not hasattr(archive, "query")
+        with pytest.raises(AttributeError):
+            archive.interval_search  # noqa: B018

@@ -1,0 +1,90 @@
+"""Tests for the XPRESS baseline."""
+
+import pytest
+
+from repro.baselines.xpress import (
+    Interval,
+    XPressDocument,
+    path_interval,
+    tag_intervals,
+)
+from repro.errors import UnsupportedFeatureError
+from repro.xmark.generator import generate_xmark
+
+DOC = """
+<site><people>
+  <person id="p0"><name>Alice</name><city>Paris</city></person>
+  <person id="p1"><name>Bob</name><city>Lyon</city></person>
+</people>
+<regions><europe><item id="i0"><name>Lamp</name></item></europe>
+</regions></site>
+"""
+
+
+class TestIntervals:
+    def test_partition_of_unit_interval(self):
+        intervals = tag_intervals({"a": 1, "b": 3})
+        assert intervals["a"].low == 0.0
+        assert intervals["b"].high == pytest.approx(1.0)
+        assert intervals["a"].high == intervals["b"].low
+
+    def test_narrowing_nests(self):
+        intervals = tag_intervals({"a": 1, "b": 1})
+        nested = intervals["b"].narrow(intervals["a"])
+        assert intervals["b"].contains(nested)
+
+    def test_reverse_encoding_suffix_containment(self):
+        """The defining property: interval(/a/b/c) inside interval(b/c)
+        inside interval(c) — what makes // queries containment tests."""
+        intervals = tag_intervals({"a": 2, "b": 3, "c": 5})
+        full = path_interval(["a", "b", "c"], intervals)
+        suffix = path_interval(["b", "c"], intervals)
+        leaf = path_interval(["c"], intervals)
+        assert leaf.contains(suffix)
+        assert suffix.contains(full)
+
+    def test_unknown_tag(self):
+        assert path_interval(["ghost"], tag_intervals({"a": 1})) is None
+
+    def test_containment_reflexive(self):
+        interval = Interval(0.25, 0.5)
+        assert interval.contains(interval)
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return XPressDocument.compress(DOC)
+
+    def test_rooted_path_count(self, doc):
+        assert doc.match_path("/site/people/person") == 2
+
+    def test_suffix_path_count(self, doc):
+        # `//name` matches person names and the item name.
+        assert doc.match_path("//name") == 3
+        assert doc.match_path("//person/name") == 2
+
+    def test_equality_compressed(self, doc):
+        assert doc.values_equal("//person/city", "Paris") == 1
+        assert doc.values_equal("//person/city", "Oslo") == 0
+
+    def test_attribute_equality(self, doc):
+        assert doc.values_equal("//person/@id", "p1") == 1
+
+    def test_unsupported(self, doc):
+        with pytest.raises(UnsupportedFeatureError):
+            doc.unsupported("joins")
+        with pytest.raises(UnsupportedFeatureError):
+            doc.match_path("")
+
+
+class TestCompression:
+    def test_cf_between_xgrind_and_xmill(self):
+        text = generate_xmark(0.02, seed=3)
+        from repro.baselines.xgrind import XGrindDocument
+        from repro.baselines.xmill import XMillArchive
+        xpress = XPressDocument.compress(text)
+        xgrind = XGrindDocument.compress(text)
+        xmill = XMillArchive.compress(text)
+        assert xgrind.compression_factor < xpress.compression_factor
+        assert xpress.compression_factor < xmill.compression_factor

@@ -1,0 +1,135 @@
+"""Tests for the ALM order-preserving dictionary codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.alm import ALMCodec, select_tokens
+from repro.errors import CodecDomainError
+
+CORPUS = ["there is a tide in the affairs of men",
+          "their hearts are in the right place",
+          "these are the times that try souls",
+          "the theory of the these there their"]
+
+
+class TestTokenSelection:
+    def test_frequent_substrings_found(self):
+        tokens = select_tokens(CORPUS, max_tokens=30)
+        assert any("the" in t for t in tokens)
+
+    def test_cap_respected(self):
+        assert len(select_tokens(CORPUS, max_tokens=5)) <= 5
+
+    def test_empty_corpus(self):
+        assert select_tokens([]) == []
+
+
+class TestPaperExample:
+    """The 'the/there/their/these' construction from Figure 2."""
+
+    def test_interval_symbols_order(self):
+        codec = ALMCodec(list("abcdefghijlmnorstuvz") + ["the", "there"])
+        # their = the + ir; there = there; these = the + se.
+        their = codec.encode("their")
+        there = codec.encode("there")
+        these = codec.encode("these")
+        assert their < there < these
+
+    def test_token_exactly_equal(self):
+        codec = ALMCodec(list("aehrst") + ["the", "there"])
+        assert codec.encode("the") < codec.encode("there")
+        assert codec.decode(codec.encode("there")) == "there"
+
+    def test_segmentation_uses_longest_match(self):
+        codec = ALMCodec(list("aehirst") + ["the", "there"])
+        # "there" must be one token, not the + r + e.
+        assert codec.encode("there").bits <= codec.encode("theri").bits
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        codec = ALMCodec.train(CORPUS)
+        for value in CORPUS:
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_empty_string(self):
+        codec = ALMCodec.train(CORPUS)
+        assert codec.decode(codec.encode("")) == ""
+
+    def test_order_preserved_on_corpus(self):
+        codec = ALMCodec.train(CORPUS)
+        ordered = sorted(CORPUS)
+        encoded = [codec.encode(v) for v in ordered]
+        assert encoded == sorted(encoded)
+
+    def test_dictionary_beats_char_codes_on_repetitive_text(self):
+        values = ["the cat and the dog and the bird"] * 4
+        trained = ALMCodec.train(values)
+        naive = ALMCodec(sorted({c for v in values for c in v}))
+        assert (trained.encode(values[0]).bits
+                < naive.encode(values[0]).bits)
+
+    def test_unseen_character(self):
+        codec = ALMCodec.train(CORPUS)
+        with pytest.raises(CodecDomainError):
+            codec.encode("UPPERCASE")
+
+    def test_determinism(self):
+        codec = ALMCodec.train(CORPUS)
+        value = CORPUS[0]
+        assert codec.encode(value) == codec.encode(value)
+
+    def test_symbol_count_at_least_tokens(self):
+        codec = ALMCodec.train(CORPUS)
+        assert codec.symbol_count >= len(codec.tokens)
+
+    def test_model_size_positive(self):
+        assert ALMCodec.train(CORPUS).model_size_bytes() > 0
+
+    def test_rejects_empty_token(self):
+        with pytest.raises(ValueError):
+            ALMCodec(["a", ""])
+
+    def test_properties_match_paper(self):
+        assert ALMCodec.properties.eq
+        assert ALMCodec.properties.ineq
+        assert not ALMCodec.properties.wild
+
+    def test_decompression_cheaper_than_huffman(self):
+        from repro.compression.huffman import HuffmanCodec
+        assert ALMCodec.decompression_cost < HuffmanCodec.decompression_cost
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(st.text(alphabet="abct he", max_size=25), min_size=1,
+                max_size=10))
+def test_roundtrip_property(values):
+    codec = ALMCodec.train(values)
+    for value in values:
+        assert codec.decode(codec.encode(value)) == value
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(st.text(alphabet="abc", max_size=15), min_size=2,
+                max_size=8))
+def test_order_property(values):
+    codec = ALMCodec.train(values)
+    encoded = {v: codec.encode(v) for v in values}
+    for a in values:
+        for b in values:
+            assert (encoded[a] < encoded[b]) == (a < b), (a, b)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.sampled_from(
+    ["the", "there", "their", "these", "them", "then", "tha", "thf",
+     "t", "th", "thereafter", "x", "theyx"]), min_size=2, max_size=10))
+def test_order_property_nested_tokens(values):
+    """Order preservation with deliberately nested dictionary tokens."""
+    codec = ALMCodec(list("abcdefghijklmnopqrstuvwxyz")
+                     + ["the", "there", "them", "these"])
+    encoded = {v: codec.encode(v) for v in values}
+    for a in values:
+        for b in values:
+            assert (encoded[a] < encoded[b]) == (a < b), (a, b)

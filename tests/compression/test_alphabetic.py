@@ -1,0 +1,76 @@
+"""Tests for alphabetical code construction helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.alphabetic import (
+    assign_alphabetic_codes,
+    weight_balanced_code_lengths,
+)
+
+
+def bitstring(code: int, length: int) -> str:
+    return format(code, f"0{length}b")
+
+
+class TestWeightBalancedLengths:
+    def test_empty(self):
+        assert weight_balanced_code_lengths([]) == []
+
+    def test_single(self):
+        assert weight_balanced_code_lengths([5.0]) == [1]
+
+    def test_uniform_balanced(self):
+        lengths = weight_balanced_code_lengths([1.0] * 8)
+        assert lengths == [3] * 8
+
+    def test_skew_shortens_heavy_symbol(self):
+        lengths = weight_balanced_code_lengths([100.0, 1.0, 1.0, 1.0])
+        assert lengths[0] < max(lengths[1:])
+
+    def test_kraft_inequality(self):
+        lengths = weight_balanced_code_lengths([3, 1, 4, 1, 5, 9, 2, 6])
+        assert sum(2.0 ** -l for l in lengths) <= 1.0 + 1e-12
+
+    @settings(deadline=None)
+    @given(st.lists(st.floats(0.01, 1000.0), min_size=1, max_size=100))
+    def test_near_entropy(self, weights):
+        import math
+        lengths = weight_balanced_code_lengths(weights)
+        total = sum(weights)
+        cost = sum(w * l for w, l in zip(weights, lengths)) / total
+        entropy = -sum((w / total) * math.log2(w / total)
+                       for w in weights)
+        assert cost <= entropy + 2.0 + 1e-9
+
+
+class TestAssignAlphabeticCodes:
+    def test_codes_strictly_increasing_as_bitstrings(self):
+        lengths = weight_balanced_code_lengths([5, 1, 1, 7, 2, 2])
+        codes = assign_alphabetic_codes(lengths)
+        bits = [bitstring(c, l) for c, l in codes]
+        for earlier, later in zip(bits, bits[1:]):
+            assert earlier < later
+
+    def test_prefix_free(self):
+        lengths = weight_balanced_code_lengths([1, 2, 3, 4, 5])
+        codes = assign_alphabetic_codes(lengths)
+        bits = [bitstring(c, l) for c, l in codes]
+        for i, a in enumerate(bits):
+            for j, b in enumerate(bits):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_empty(self):
+        assert assign_alphabetic_codes([]) == []
+
+    @settings(deadline=None)
+    @given(st.lists(st.floats(0.01, 100.0), min_size=2, max_size=60))
+    def test_property_order_and_prefix_freedom(self, weights):
+        lengths = weight_balanced_code_lengths(weights)
+        codes = assign_alphabetic_codes(lengths)
+        bits = [bitstring(c, l) for c, l in codes]
+        for a, b in zip(bits, bits[1:]):
+            assert a < b
+            assert not b.startswith(a) and not a.startswith(b)

@@ -1,0 +1,75 @@
+"""Tests for the order-preserving arithmetic codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.arithmetic import ArithmeticCodec
+from repro.errors import CodecDomainError
+
+CORPUS = ["alpha", "beta", "gamma", "delta", "epsilon zeta"]
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        codec = ArithmeticCodec.train(CORPUS)
+        for value in CORPUS:
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_empty_string(self):
+        codec = ArithmeticCodec.train(CORPUS)
+        assert codec.decode(codec.encode("")) == ""
+
+    def test_order_preserved(self):
+        codec = ArithmeticCodec.train(CORPUS)
+        ordered = sorted(CORPUS)
+        encoded = [codec.encode(v) for v in ordered]
+        assert encoded == sorted(encoded)
+
+    def test_prefix_sorts_first(self):
+        codec = ArithmeticCodec.train(["ab", "abab"])
+        assert codec.encode("ab") < codec.encode("abab")
+
+    def test_unseen_character(self):
+        codec = ArithmeticCodec.train(CORPUS)
+        with pytest.raises(CodecDomainError):
+            codec.encode("UPPER")
+
+    def test_skewed_input_compresses(self):
+        values = ["a" * 64 + "b"]
+        codec = ArithmeticCodec.train(values)
+        assert codec.encode(values[0]).bits < 8 * 65
+
+    def test_large_counts_rescaled(self):
+        counts = {"a": 10 ** 9, "b": 1}
+        codec = ArithmeticCodec(counts)
+        assert codec.decode(codec.encode("ab")) == "ab"
+
+    def test_determinism(self):
+        codec = ArithmeticCodec.train(CORPUS)
+        assert codec.encode("alpha") == codec.encode("alpha")
+
+    def test_properties_match_design(self):
+        assert ArithmeticCodec.properties.eq
+        assert ArithmeticCodec.properties.ineq
+        assert not ArithmeticCodec.properties.wild
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(st.text(alphabet="ab cxyz", max_size=30), min_size=1,
+                max_size=10))
+def test_roundtrip_property(values):
+    codec = ArithmeticCodec.train(values)
+    for value in values:
+        assert codec.decode(codec.encode(value)) == value
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(st.text(alphabet="abc", max_size=12), min_size=2,
+                max_size=8))
+def test_order_property(values):
+    codec = ArithmeticCodec.train(values)
+    encoded = {v: codec.encode(v) for v in values}
+    for a in values:
+        for b in values:
+            assert (encoded[a] < encoded[b]) == (a < b)

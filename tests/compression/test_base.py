@@ -1,0 +1,80 @@
+"""Tests for CompressedValue ordering and codec properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.base import CodecProperties, CompressedValue
+from repro.util.bits import bits_to_bytes
+
+
+def cv(bits: str) -> CompressedValue:
+    return CompressedValue(bits_to_bytes(bits), len(bits))
+
+
+class TestCompressedValueOrdering:
+    def test_equal(self):
+        assert cv("0101") == cv("0101")
+
+    def test_bit_difference(self):
+        assert cv("01") < cv("10")
+
+    def test_prefix_sorts_first(self):
+        assert cv("01") < cv("010")
+        assert cv("01") < cv("011")
+
+    def test_prefix_all_zero_extension(self):
+        # "0" is a bit-prefix of "00": the shorter must sort first.
+        assert cv("0") < cv("00")
+
+    def test_cross_byte_boundary(self):
+        assert cv("00000000") < cv("000000001")
+
+    def test_hash_consistent(self):
+        assert hash(cv("0101")) == hash(cv("0101"))
+
+    def test_not_equal_other_type(self):
+        assert cv("1") != "1"
+
+    @given(st.text(alphabet="01", max_size=30),
+           st.text(alphabet="01", max_size=30))
+    def test_order_matches_bitstring_order(self, a, b):
+        """(data, bits) ordering == bit-string ordering with prefix-first."""
+        expected = a < b  # Python string compare is exactly prefix-first
+        assert (cv(a) < cv(b)) == expected
+
+
+class TestStartsWith:
+    def test_exact(self):
+        assert cv("0101").starts_with(cv("0101"))
+
+    def test_proper_prefix(self):
+        assert cv("010110").starts_with(cv("0101"))
+
+    def test_longer_prefix_fails(self):
+        assert not cv("01").starts_with(cv("0101"))
+
+    def test_mismatch(self):
+        assert not cv("1101").starts_with(cv("0101"))
+
+    def test_empty_prefix(self):
+        assert cv("1").starts_with(cv(""))
+
+    def test_cross_byte(self):
+        assert cv("0" * 9).starts_with(cv("0" * 8))
+        assert not cv("0" * 8 + "1").starts_with(cv("0" * 9))
+
+
+class TestCodecProperties:
+    def test_supports(self):
+        props = CodecProperties(eq=True, ineq=False, wild=True)
+        assert props.supports("eq")
+        assert not props.supports("ineq")
+        assert props.supports("wild")
+
+    def test_supports_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CodecProperties(True, True, True).supports("fuzzy")
+
+    def test_count_true(self):
+        assert CodecProperties(True, True, False).count_true() == 2

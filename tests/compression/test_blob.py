@@ -1,0 +1,59 @@
+"""Tests for blob (chunk) codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.blob import Bzip2Blob, ZlibBlob
+from repro.errors import CorruptDataError
+
+
+@pytest.fixture(params=[ZlibBlob, Bzip2Blob])
+def blob(request):
+    return request.param()
+
+
+class TestChunkInterface:
+    def test_chunk_roundtrip(self, blob):
+        data = b"hello world " * 100
+        assert blob.decompress_chunk(blob.compress_chunk(data)) == data
+
+    def test_repetitive_data_shrinks(self, blob):
+        data = b"abcabc" * 500
+        assert len(blob.compress_chunk(data)) < len(data) // 4
+
+    def test_corrupt_chunk_raises(self, blob):
+        with pytest.raises(CorruptDataError):
+            blob.decompress_chunk(b"not compressed data")
+
+    def test_encode_many_roundtrip(self, blob):
+        values = ["alpha", "beta", "", "gamma delta"]
+        assert blob.decode_many(blob.encode_many(values)) == values
+
+    def test_encode_many_empty(self, blob):
+        assert blob.decode_many(blob.encode_many([])) == []
+
+
+class TestValueInterface:
+    def test_value_roundtrip(self, blob):
+        value = "the quick brown fox" * 10
+        assert blob.decode(blob.encode(value)) == value
+
+    def test_no_compressed_domain_predicates(self, blob):
+        assert not blob.properties.eq
+        assert not blob.properties.ineq
+        assert not blob.properties.wild
+
+    def test_is_blob_marker(self, blob):
+        assert blob.is_blob
+
+    def test_train_is_trivial(self):
+        assert isinstance(ZlibBlob.train(["x"]), ZlibBlob)
+
+
+@given(st.lists(st.text(
+    alphabet=st.characters(min_codepoint=1, max_codepoint=500),
+    max_size=40), max_size=15))
+def test_encode_many_property(values):
+    blob = ZlibBlob()
+    assert blob.decode_many(blob.encode_many(values)) == values

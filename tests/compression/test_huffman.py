@@ -1,0 +1,106 @@
+"""Tests for the classical Huffman codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.huffman import (
+    HuffmanCodec,
+    canonical_codes,
+    code_lengths_from_frequencies,
+)
+from repro.errors import CodecDomainError, CorruptDataError
+
+CORPUS = ["the quick brown fox", "the lazy dog", "the the the"]
+
+
+class TestCodeConstruction:
+    def test_lengths_reflect_frequency(self):
+        lengths = code_lengths_from_frequencies(
+            {"a": 100, "b": 1, "c": 1})
+        assert lengths["a"] < lengths["b"]
+
+    def test_single_symbol(self):
+        assert code_lengths_from_frequencies({"a": 5}) == {"a": 1}
+
+    def test_empty(self):
+        assert code_lengths_from_frequencies({}) == {}
+
+    def test_kraft_equality(self):
+        lengths = code_lengths_from_frequencies(
+            {c: i + 1 for i, c in enumerate("abcdefg")})
+        assert sum(2 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    def test_canonical_codes_prefix_free(self):
+        codes = canonical_codes({"a": 1, "b": 2, "c": 2})
+        bitstrings = {format(v, f"0{l}b") for v, l in codes.values()}
+        for x in bitstrings:
+            for y in bitstrings:
+                if x != y:
+                    assert not y.startswith(x)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        codec = HuffmanCodec.train(CORPUS)
+        for value in CORPUS:
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_deterministic_equality(self):
+        codec = HuffmanCodec.train(CORPUS)
+        assert codec.encode("the") == codec.encode("the")
+        assert codec.encode("the") != codec.encode("dog")
+
+    def test_prefix_match_in_compressed_domain(self):
+        codec = HuffmanCodec.train(CORPUS)
+        full = codec.encode("the quick")
+        prefix = codec.encode("the q")
+        assert full.starts_with(prefix)
+        assert not full.starts_with(codec.encode("dog"))
+
+    def test_unseen_character_raises(self):
+        codec = HuffmanCodec.train(CORPUS)
+        with pytest.raises(CodecDomainError):
+            codec.encode("Zebra!")
+
+    def test_try_encode_returns_none(self):
+        codec = HuffmanCodec.train(CORPUS)
+        assert codec.try_encode("Zebra!") is None
+        assert codec.try_encode("the") is not None
+
+    def test_empty_string(self):
+        codec = HuffmanCodec.train(CORPUS)
+        assert codec.decode(codec.encode("")) == ""
+
+    def test_compression_beats_fixed_width_on_skew(self):
+        skewed = ["a" * 100 + "bcd"]
+        codec = HuffmanCodec.train(skewed)
+        encoded = codec.encode(skewed[0])
+        assert encoded.bits < len(skewed[0]) * 2
+
+    def test_truncated_stream_raises(self):
+        # Frequencies force codes a:1 bit, b/c:2 bits; cutting "b" to one
+        # bit leaves an incomplete codeword.
+        codec = HuffmanCodec.from_frequencies({"a": 4, "b": 2, "c": 1})
+        encoded = codec.encode("b")
+        assert encoded.bits == 2
+        from repro.compression.base import CompressedValue
+        truncated = CompressedValue(encoded.data, 1)
+        with pytest.raises(CorruptDataError):
+            codec.decode(truncated)
+
+    def test_model_size_positive(self):
+        assert HuffmanCodec.train(CORPUS).model_size_bytes() > 0
+
+    def test_properties_match_paper(self):
+        assert HuffmanCodec.properties.eq
+        assert not HuffmanCodec.properties.ineq
+        assert HuffmanCodec.properties.wild
+
+
+@given(st.lists(st.text(alphabet="abcdef ", min_size=1), min_size=1,
+                max_size=20))
+def test_roundtrip_property(values):
+    codec = HuffmanCodec.train(values)
+    for value in values:
+        assert codec.decode(codec.encode(value)) == value

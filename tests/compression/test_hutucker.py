@@ -1,0 +1,88 @@
+"""Tests for Hu-Tucker optimal alphabetical codes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.huffman import code_lengths_from_frequencies
+from repro.compression.hutucker import HuTuckerCodec, hu_tucker_code_lengths
+from repro.errors import CodecDomainError
+
+CORPUS = ["romeo", "juliet", "verona", "montague", "capulet"]
+
+
+class TestLengths:
+    def test_single(self):
+        assert hu_tucker_code_lengths([5.0]) == [1]
+
+    def test_two(self):
+        assert hu_tucker_code_lengths([1.0, 1.0]) == [1, 1]
+
+    def test_kraft_inequality(self):
+        lengths = hu_tucker_code_lengths([5, 1, 9, 2, 7, 3])
+        assert sum(2 ** -l for l in lengths) <= 1.0 + 1e-12
+
+    def test_uniform_is_balanced(self):
+        lengths = hu_tucker_code_lengths([1.0] * 8)
+        assert lengths == [3] * 8
+
+    def test_cost_at_most_huffman_plus_one(self):
+        """Hu-Tucker is within 1 bit/symbol of unrestricted Huffman."""
+        weights = {chr(97 + i): w
+                   for i, w in enumerate([50, 3, 20, 1, 1, 9, 30])}
+        huffman = code_lengths_from_frequencies(weights)
+        hutucker = hu_tucker_code_lengths(list(weights.values()))
+        h_cost = sum(weights[s] * l for s, l in huffman.items())
+        ht_cost = sum(w * l for w, l in zip(weights.values(), hutucker))
+        assert ht_cost <= h_cost + sum(weights.values())
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        codec = HuTuckerCodec.train(CORPUS)
+        for value in CORPUS:
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_order_preserved(self):
+        codec = HuTuckerCodec.train(CORPUS)
+        ordered = sorted(CORPUS)
+        encoded = [codec.encode(v) for v in ordered]
+        assert encoded == sorted(encoded)
+
+    def test_prefix_case(self):
+        codec = HuTuckerCodec.train(["abc", "abcdef"])
+        assert codec.encode("abc") < codec.encode("abcdef")
+
+    def test_unseen_character(self):
+        codec = HuTuckerCodec.train(CORPUS)
+        with pytest.raises(CodecDomainError):
+            codec.encode("xyz123")
+
+    def test_empty_string_sorts_first(self):
+        codec = HuTuckerCodec.train(CORPUS)
+        assert codec.encode("") < codec.encode("a" if "a" in "".join(CORPUS)
+                                               else CORPUS[0])
+
+    def test_properties_match_design(self):
+        assert HuTuckerCodec.properties.eq
+        assert HuTuckerCodec.properties.ineq
+        assert HuTuckerCodec.properties.wild
+
+
+@settings(deadline=None)
+@given(st.lists(st.text(alphabet="abcdegh ", min_size=1), min_size=2,
+                max_size=15))
+def test_order_preservation_property(values):
+    codec = HuTuckerCodec.train(values)
+    for a in values:
+        for b in values:
+            assert (codec.encode(a) < codec.encode(b)) == (a < b)
+
+
+@settings(deadline=None)
+@given(st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=1,
+                max_size=20))
+def test_lengths_admit_alphabetic_tree(weights):
+    """Constructor's reconstruction check must pass for any weights."""
+    symbols = [chr(97 + i) for i in range(len(weights))]
+    HuTuckerCodec(symbols, hu_tucker_code_lengths(weights))

@@ -1,0 +1,108 @@
+"""Tests for numeric codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.numeric import (
+    FloatCodec,
+    IntegerCodec,
+    is_canonical_float,
+    is_canonical_int,
+)
+from repro.errors import CodecDomainError, CorruptDataError
+
+
+class TestCanonicalChecks:
+    def test_int_canonical(self):
+        assert is_canonical_int("42")
+        assert is_canonical_int("-7")
+        assert not is_canonical_int("007")
+        assert not is_canonical_int("4.0")
+        assert not is_canonical_int("abc")
+
+    def test_float_canonical(self):
+        assert is_canonical_float("1.5")
+        assert not is_canonical_float("1.50")
+        assert not is_canonical_float("nan")
+        assert not is_canonical_float("inf")
+        assert not is_canonical_float("x")
+
+
+class TestIntegerCodec:
+    def test_roundtrip(self):
+        codec = IntegerCodec.train(["10", "200", "35"])
+        for v in ("10", "200", "35", "150"):
+            assert codec.decode(codec.encode(v)) == v
+
+    def test_order_preserved(self):
+        codec = IntegerCodec.train(["-50", "1000"])
+        values = ["-50", "-3", "0", "7", "999"]
+        encoded = [codec.encode(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_width_is_minimal(self):
+        assert IntegerCodec.train(["0", "255"]).width == 1
+        assert IntegerCodec.train(["0", "256"]).width == 2
+
+    def test_out_of_range(self):
+        codec = IntegerCodec.train(["0", "10"])
+        with pytest.raises(CodecDomainError):
+            codec.encode("100000")
+
+    def test_non_canonical_rejected(self):
+        codec = IntegerCodec.train(["1"])
+        with pytest.raises(CodecDomainError):
+            codec.encode("01")
+
+    def test_train_rejects_text(self):
+        with pytest.raises(CodecDomainError):
+            IntegerCodec.train(["hello"])
+
+    def test_empty_training(self):
+        codec = IntegerCodec.train([])
+        assert codec.decode(codec.encode("0")) == "0"
+
+    def test_bad_width_decode(self):
+        codec = IntegerCodec.train(["0", "10"])
+        other = IntegerCodec.train(["0", "100000"])
+        with pytest.raises(CorruptDataError):
+            codec.decode(other.encode("5"))
+
+    @given(st.lists(st.integers(-10**9, 10**9), min_size=1, max_size=30))
+    def test_roundtrip_property(self, numbers):
+        values = [str(n) for n in numbers]
+        codec = IntegerCodec.train(values)
+        assert [codec.decode(codec.encode(v)) for v in values] == values
+
+
+class TestFloatCodec:
+    def test_roundtrip(self):
+        codec = FloatCodec()
+        for v in ("1.5", "-2.25", "0.0", "1e+100", "-3.7"):
+            assert codec.decode(codec.encode(v)) == repr(float(v))
+
+    def test_order_preserved_across_signs(self):
+        codec = FloatCodec()
+        values = ["-100.5", "-1.25", "0.0", "0.5", "42.75"]
+        encoded = [codec.encode(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_rejects_text(self):
+        with pytest.raises(CodecDomainError):
+            FloatCodec().encode("pi")
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_roundtrip_property(self, x):
+        codec = FloatCodec()
+        assert codec.decode(codec.encode(repr(x))) == repr(x)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_order_property(self, a, b):
+        codec = FloatCodec()
+        ea, eb = codec.encode(repr(a)), codec.encode(repr(b))
+        if a < b:
+            assert ea < eb
+        elif a > b:
+            assert eb < ea

@@ -1,0 +1,69 @@
+"""Tests for the codec registry."""
+
+import pytest
+
+from repro.compression.base import Codec
+from repro.compression.registry import (
+    STRING_ALGORITHMS,
+    available_codecs,
+    codec_class,
+    register_codec,
+    train_codec,
+)
+from repro.errors import UnknownCodecError
+
+
+class TestLookup:
+    def test_known_names(self):
+        for name in ("huffman", "alm", "hutucker", "arithmetic",
+                     "integer", "float", "zlib", "bzip2"):
+            assert codec_class(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownCodecError):
+            codec_class("snappy")
+
+    def test_available_sorted(self):
+        names = available_codecs()
+        assert names == sorted(names)
+
+    def test_string_algorithms_subset(self):
+        assert set(STRING_ALGORITHMS) <= set(available_codecs())
+
+
+class TestTraining:
+    def test_train_dispatch(self):
+        codec = train_codec("huffman", ["aa", "bb"])
+        assert codec.decode(codec.encode("ab")) == "ab"
+
+    def test_every_string_algorithm_trains_and_roundtrips(self):
+        values = ["foo bar", "baz", "foo foo"]
+        for name in STRING_ALGORITHMS:
+            codec = train_codec(name, values)
+            for value in values:
+                assert codec.decode(codec.encode(value)) == value
+
+
+class TestRegisterCodec:
+    def test_custom_codec(self):
+        class Identity(Codec):
+            name = "identity-test"
+
+            @classmethod
+            def train(cls, values):
+                return cls()
+
+            def encode(self, value):
+                from repro.compression.base import CompressedValue
+                data = value.encode("utf-8")
+                return CompressedValue(data, len(data) * 8)
+
+            def decode(self, compressed):
+                return compressed.data.decode("utf-8")
+
+            def model_size_bytes(self):
+                return 0
+
+        register_codec(Identity)
+        codec = train_codec("identity-test", [])
+        assert codec.decode(codec.encode("hi")) == "hi"

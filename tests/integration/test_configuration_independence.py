@@ -1,0 +1,90 @@
+"""Property: query answers never depend on the compression config.
+
+The §3 search changes *how* containers are compressed (algorithm,
+shared source models, blobs); it must never change *what* queries
+return.  Hypothesis draws random configurations — random algorithm per
+random container group — and every query must match the default-config
+answer bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning.config import (
+    CompressionConfiguration,
+    ContainerGroup,
+)
+from repro.query.engine import QueryEngine
+from repro.storage.loader import load_document
+
+DOC = """
+<site>
+  <people>
+    <person id="p0"><name>Alice Cooper</name><city>Paris</city>
+      <age>31</age></person>
+    <person id="p1"><name>Bob Dylan</name><city>Lyon</city>
+      <age>27</age></person>
+    <person id="p2"><name>Carol King</name><city>Paris</city>
+      <age>45</age></person>
+  </people>
+  <sales>
+    <sale buyer="p2"><total>19</total></sale>
+    <sale buyer="p0"><total>7</total></sale>
+  </sales>
+</site>
+"""
+
+STRING_PATHS = [
+    "/site/people/person/@id",
+    "/site/people/person/name/#text",
+    "/site/people/person/city/#text",
+    "/site/sales/sale/@buyer",
+]
+
+QUERIES = [
+    "/site/people/person/name/text()",
+    'for $p in /site/people/person where $p/city/text() = "Paris" '
+    "return $p/@id",
+    'for $p in /site/people/person where $p/name/text() < "Carol" '
+    "return $p/name/text()",
+    "for $p in /site/people/person, $s in /site/sales/sale "
+    "where $s/@buyer = $p/@id return $p/name/text()",
+    "for $p in /site/people/person order by $p/age/text() descending "
+    "return $p/@id",
+    "sum(/site/sales/sale/total/text())",
+]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    engine = QueryEngine(load_document(DOC))
+    return {query: engine.execute(query).to_xml() for query in QUERIES}
+
+
+_ALGORITHMS = st.sampled_from(["alm", "huffman", "hutucker",
+                               "arithmetic", "bzip2", "zlib"])
+
+
+@st.composite
+def configurations(draw) -> CompressionConfiguration:
+    """A random partition of the string containers + algorithms."""
+    group_of = {path: draw(st.integers(0, 2)) for path in STRING_PATHS}
+    groups = []
+    for group_id in set(group_of.values()):
+        members = tuple(p for p, g in group_of.items()
+                        if g == group_id)
+        groups.append(ContainerGroup(members, draw(_ALGORITHMS)))
+    return CompressionConfiguration(groups)
+
+
+@settings(deadline=None, max_examples=40)
+@given(configuration=configurations())
+def test_any_configuration_same_answers(baseline, configuration):
+    repo = load_document(DOC, configuration=configuration)
+    engine = QueryEngine(repo)
+    for query, expected in baseline.items():
+        assert engine.execute(query).to_xml() == expected, \
+            (query, configuration)

@@ -1,0 +1,54 @@
+"""Moderate-scale smoke test: load, persist, query, reconstruct."""
+
+import pytest
+
+from repro.core.system import XQueCSystem
+from repro.query.engine import QueryEngine
+from repro.query.context import EvaluationStats
+from repro.storage.serialization import load_repository, save_repository
+from repro.xmark.generator import generate_xmark
+from repro.xmark.queries import XMARK_QUERIES, query_text
+from repro.xmlio.dom import parse
+from repro.xmlio.writer import serialize
+
+
+@pytest.fixture(scope="module")
+def xml_text():
+    return generate_xmark(factor=0.03, seed=99)
+
+
+@pytest.fixture(scope="module")
+def system(xml_text):
+    return XQueCSystem.load(
+        xml_text,
+        workload_queries=[q for _, q in XMARK_QUERIES.values()])
+
+
+class TestScaleSmoke:
+    def test_compression_band(self, system):
+        assert 0.5 < system.compression_factor < 0.8
+
+    def test_every_benchmark_query_runs(self, system):
+        for query_id in sorted(XMARK_QUERIES):
+            result = system.query(query_text(query_id))
+            assert result.to_xml() is not None, query_id
+
+    def test_document_reconstruction_exact(self, system, xml_text):
+        engine = QueryEngine(system.repository)
+        rebuilt = engine.materialize_node(0, EvaluationStats())
+        assert serialize(rebuilt) == serialize(parse(xml_text))
+
+    def test_persistence_roundtrip_at_scale(self, system, tmp_path):
+        path = tmp_path / "scale.xqc"
+        save_repository(system.repository, path)
+        loaded = load_repository(path)
+        query = query_text("Q8")
+        assert QueryEngine(loaded).execute(query).to_xml() == \
+            system.query(query).to_xml()
+
+    def test_repository_file_smaller_than_document(self, system,
+                                                   tmp_path, xml_text):
+        path = tmp_path / "scale.xqc"
+        save_repository(system.repository, path)
+        # Page padding costs a little; still clearly below the source.
+        assert path.stat().st_size < 0.75 * len(xml_text.encode())

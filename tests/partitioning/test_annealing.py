@@ -1,0 +1,84 @@
+"""Tests for the simulated-annealing configuration search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning.config import CompressionConfiguration
+from repro.partitioning.cost import ContainerProfile, CostModel
+from repro.partitioning.search import annealing_search, greedy_search
+from repro.partitioning.workload import Predicate, Workload
+from repro.xmark.text_source import TextSource
+
+
+def profiles():
+    source = TextSource(seed=44)
+    prose = [source.sentence() for _ in range(150)]
+    names = [source.person_name() for _ in range(200)]
+    dates = [source.date() for _ in range(250)]
+    return [
+        ContainerProfile.from_values("/p1", prose),
+        ContainerProfile.from_values("/p2", prose),
+        ContainerProfile.from_values("/names", names),
+        ContainerProfile.from_values("/dates", dates),
+    ]
+
+
+WORKLOAD = Workload([
+    Predicate("ineq", "/p1", "/p2"),
+    Predicate("ineq", "/names"),
+    Predicate("eq", "/dates"),
+] * 2)
+
+
+class TestAnnealingSearch:
+    def test_valid_configuration(self):
+        config, cost = annealing_search(profiles(), WORKLOAD, seed=5)
+        assert sorted(config.paths()) == ["/dates", "/names", "/p1",
+                                          "/p2"]
+        assert cost == CostModel(profiles(), WORKLOAD).cost(config)
+
+    def test_never_worse_than_initial(self):
+        prof = profiles()
+        model = CostModel(prof, WORKLOAD)
+        initial = CompressionConfiguration.singletons(
+            [p.path for p in prof], "bzip2")
+        _, cost = annealing_search(prof, WORKLOAD, seed=5)
+        assert cost <= model.cost(initial)
+
+    def test_competitive_with_greedy(self):
+        prof = profiles()
+        _, greedy_cost = greedy_search(prof, WORKLOAD, seed=5)
+        _, annealing_cost = annealing_search(prof, WORKLOAD, seed=5,
+                                             iterations=600)
+        # The global search must reach at least near the greedy's
+        # locally optimal cost (usually it matches or beats it).
+        assert annealing_cost <= greedy_cost * 1.10
+
+    def test_deterministic_per_seed(self):
+        prof = profiles()
+        a = annealing_search(prof, WORKLOAD, seed=9, iterations=120)
+        b = annealing_search(prof, WORKLOAD, seed=9, iterations=120)
+        assert a[1] == b[1] and repr(a[0]) == repr(b[0])
+
+    def test_empty_inputs(self):
+        config, _ = annealing_search([], Workload(), seed=1)
+        assert config.paths() == []
+
+    def test_single_container(self):
+        prof = [profiles()[0]]
+        config, _ = annealing_search(
+            prof, Workload([Predicate("ineq", "/p1")]), seed=1,
+            iterations=100)
+        assert config.paths() == ["/p1"]
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 10_000))
+def test_annealing_best_never_exceeds_visited(seed):
+    """The returned cost is the model cost of the returned config."""
+    prof = profiles()
+    model = CostModel(prof, WORKLOAD)
+    config, cost = annealing_search(prof, WORKLOAD, seed=seed,
+                                    iterations=150)
+    assert cost == pytest.approx(model.cost(config))

@@ -1,0 +1,94 @@
+"""Tests for similarity-based source-model clustering."""
+
+import pytest
+
+from repro.core.system import XQueCSystem
+from repro.partitioning.similarity import cluster_by_similarity
+from repro.xmark.text_source import TextSource
+
+
+def families():
+    source = TextSource(seed=21)
+    prose = [[source.sentence() for _ in range(60)] for _ in range(3)]
+    dates = [[source.date() for _ in range(80)] for _ in range(2)]
+    return prose, dates
+
+
+class TestClusterBySimilarity:
+    def test_families_separate(self):
+        prose, dates = families()
+        clusters = cluster_by_similarity(prose + dates, threshold=0.55)
+        by_index = {i: c for c in clusters for i in c}
+        # The three prose lists cluster together, dates together,
+        # and never with each other.
+        assert by_index[0] == by_index[1] == by_index[2]
+        assert by_index[3] == by_index[4]
+        assert by_index[0] != by_index[3]
+
+    def test_threshold_one_keeps_singletons(self):
+        prose, dates = families()
+        clusters = cluster_by_similarity(prose + dates, threshold=1.01)
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_threshold_zero_merges_all(self):
+        prose, dates = families()
+        clusters = cluster_by_similarity(prose + dates, threshold=0.0)
+        assert len(clusters) == 1
+
+    def test_empty(self):
+        assert cluster_by_similarity([]) == []
+
+    def test_partition_property(self):
+        prose, dates = families()
+        clusters = cluster_by_similarity(prose + dates, threshold=0.4)
+        seen = sorted(i for c in clusters for i in c)
+        assert seen == list(range(5))
+
+
+class TestSimilarityGroupedLoading:
+    DOC = """
+    <db>
+      <a><t>the quick brown fox jumps over the dog</t></a>
+      <a><t>the quick brown fox naps under the tree</t></a>
+      <b><t>the lazy dog sleeps through the quick day</t></b>
+      <n><v>1999-01-02</v></n>
+      <n><v>2003-07-15</v></n>
+    </db>
+    """
+
+    def test_similar_containers_share_model(self):
+        system = XQueCSystem.load(self.DOC, similarity_grouping=True,
+                                  similarity_threshold=0.55)
+        assert system.configuration is not None
+        a_text = system.repository.container("/db/a/t/#text")
+        b_text = system.repository.container("/db/b/t/#text")
+        group = system.configuration.group_of("/db/a/t/#text")
+        if group is not None and "/db/b/t/#text" in group:
+            assert a_text.codec is b_text.codec
+
+    def test_queries_unaffected(self):
+        plain = XQueCSystem.load(self.DOC)
+        grouped = XQueCSystem.load(self.DOC, similarity_grouping=True)
+        query = '/db/a/t/text()'
+        assert plain.query(query).to_xml() == \
+            grouped.query(query).to_xml()
+
+    def test_numeric_containers_untouched(self):
+        system = XQueCSystem.load(self.DOC, similarity_grouping=True)
+        dates = system.repository.container("/db/n/v/#text")
+        assert dates.value_type == "string"  # dates are not canonical
+        # they may be grouped, but only with string codecs
+        assert dates.codec.name in ("alm",)
+
+    def test_fewer_models_than_default(self):
+        from repro.xmark.generator import generate_xmark
+        text = generate_xmark(0.01, seed=6)
+        plain = XQueCSystem.load(text)
+        grouped = XQueCSystem.load(text, similarity_grouping=True,
+                                   similarity_threshold=0.55)
+
+        def model_count(system):
+            return len({id(c.codec)
+                        for c in system.repository.containers()})
+
+        assert model_count(grouped) <= model_count(plain)

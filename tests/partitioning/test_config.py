@@ -1,0 +1,79 @@
+"""Tests for compression configurations and moves."""
+
+import pytest
+
+from repro.partitioning.config import (
+    CompressionConfiguration,
+    ContainerGroup,
+)
+
+
+class TestValidation:
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerGroup((), "alm")
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionConfiguration(groups=[
+                ContainerGroup(("a",), "alm"),
+                ContainerGroup(("a", "b"), "huffman"),
+            ])
+
+    def test_singletons(self):
+        config = CompressionConfiguration.singletons(["a", "b"], "bzip2")
+        assert len(config.groups) == 2
+        assert config.algorithm_of("a") == "bzip2"
+
+
+class TestLookup:
+    def test_group_of(self):
+        config = CompressionConfiguration(groups=[
+            ContainerGroup(("a", "b"), "alm")])
+        assert config.group_of("a") is config.group_of("b")
+        assert config.group_of("zzz") is None
+        assert config.algorithm_of("zzz") is None
+
+    def test_paths(self):
+        config = CompressionConfiguration(groups=[
+            ContainerGroup(("b",), "alm"), ContainerGroup(("a",), "alm")])
+        assert config.paths() == ["a", "b"]
+
+
+class TestMoves:
+    @pytest.fixture
+    def config(self):
+        return CompressionConfiguration(groups=[
+            ContainerGroup(("a", "b"), "bzip2"),
+            ContainerGroup(("c",), "bzip2"),
+        ])
+
+    def test_with_algorithm(self, config):
+        group = config.group_of("a")
+        updated = config.with_algorithm(group, "alm")
+        assert updated.algorithm_of("a") == "alm"
+        assert updated.algorithm_of("c") == "bzip2"
+        # original untouched
+        assert config.algorithm_of("a") == "bzip2"
+
+    def test_with_pair_extracted(self, config):
+        updated = config.with_pair_extracted("a", "c", "alm")
+        new_group = updated.group_of("a")
+        assert new_group is updated.group_of("c")
+        assert new_group.algorithm == "alm"
+        assert updated.group_of("b").container_paths == ("b",)
+
+    def test_extract_empties_singleton_group(self, config):
+        updated = config.with_pair_extracted("b", "c", "huffman")
+        assert len(updated.groups) == 2  # {a}, {b,c}
+
+    def test_with_groups_merged(self, config):
+        merged = config.with_groups_merged(
+            config.groups[0], config.groups[1], "alm")
+        assert len(merged.groups) == 1
+        assert set(merged.groups[0].container_paths) == {"a", "b", "c"}
+
+    def test_merge_same_group_rejected(self, config):
+        with pytest.raises(ValueError):
+            config.with_groups_merged(config.groups[0], config.groups[0],
+                                      "alm")

@@ -1,0 +1,148 @@
+"""Tests for the §3.2 cost function."""
+
+import pytest
+
+from repro.partitioning.config import (
+    CompressionConfiguration,
+    ContainerGroup,
+)
+from repro.partitioning.cost import ContainerProfile, CostModel
+from repro.partitioning.workload import Predicate, Workload
+
+PROSE_A = ["the quick brown fox jumps over the lazy dog"] * 20
+PROSE_B = ["a stitch in time saves nine every single day"] * 20
+DATES = ["1999-12-31", "2000-01-01", "2003-06-15"] * 20
+
+
+def profiles():
+    return [
+        ContainerProfile.from_values("/a", PROSE_A),
+        ContainerProfile.from_values("/b", PROSE_B),
+        ContainerProfile.from_values("/d", DATES),
+    ]
+
+
+class TestContainerProfile:
+    def test_from_values(self):
+        profile = ContainerProfile.from_values("/x", ["ab", "b"])
+        assert profile.count == 2
+        assert profile.total_chars == 3
+        assert profile.char_counts["b"] == 2
+
+    def test_entropy(self):
+        assert ContainerProfile.from_values("/x", ["ab"]).entropy_bits() \
+            == pytest.approx(1.0)
+        assert ContainerProfile.from_values("/x", ["aa"]).entropy_bits() \
+            == 0.0
+
+
+class TestStorageCost:
+    def test_paper_example_merging_dissimilar_raises_storage(self):
+        """The §3 a/b-vs-c/d example: a shared source model over
+        dissimilar containers costs more bits per letter."""
+        ab = ContainerProfile.from_values("/ab", ["abab", "baba"] * 10)
+        cd = ContainerProfile.from_values("/cd", ["cdcd", "dcdc"] * 10)
+        model = CostModel([ab, cd], Workload())
+        separate = CompressionConfiguration(groups=[
+            ContainerGroup(("/ab",), "huffman"),
+            ContainerGroup(("/cd",), "huffman")])
+        merged = CompressionConfiguration(groups=[
+            ContainerGroup(("/ab", "/cd"), "huffman")])
+        assert model.storage_cost(merged) > model.storage_cost(separate)
+
+    def test_merging_similar_does_not_raise_storage(self):
+        a = ContainerProfile.from_values("/a", PROSE_A)
+        b = ContainerProfile.from_values("/b", PROSE_A)
+        model = CostModel([a, b], Workload())
+        separate = CompressionConfiguration(groups=[
+            ContainerGroup(("/a",), "alm"), ContainerGroup(("/b",), "alm")])
+        merged = CompressionConfiguration(groups=[
+            ContainerGroup(("/a", "/b"), "alm")])
+        assert model.storage_cost(merged) == \
+            pytest.approx(model.storage_cost(separate))
+
+    def test_model_cost_one_model_per_group(self):
+        model = CostModel(profiles(), Workload())
+        merged = CompressionConfiguration(groups=[
+            ContainerGroup(("/a", "/b", "/d"), "alm")])
+        separate = CompressionConfiguration(groups=[
+            ContainerGroup(("/a",), "alm"),
+            ContainerGroup(("/b",), "alm"),
+            ContainerGroup(("/d",), "alm")])
+        assert model.model_cost(merged) < model.model_cost(separate)
+
+
+class TestDecompressionCost:
+    def test_supported_predicate_shared_model_is_free(self):
+        workload = Workload([Predicate("ineq", "/a", "/b")])
+        model = CostModel(profiles(), workload)
+        config = CompressionConfiguration(groups=[
+            ContainerGroup(("/a", "/b"), "alm"),
+            ContainerGroup(("/d",), "bzip2")])
+        assert model.decompression_cost(config) == 0.0
+
+    def test_unsupported_predicate_costs_case_iii(self):
+        # Huffman cannot do inequality in the compressed domain.
+        workload = Workload([Predicate("ineq", "/a", "/b")])
+        model = CostModel(profiles(), workload)
+        config = CompressionConfiguration(groups=[
+            ContainerGroup(("/a", "/b"), "huffman"),
+            ContainerGroup(("/d",), "bzip2")])
+        assert model.decompression_cost(config) > 0.0
+
+    def test_different_source_models_cost_case_ii(self):
+        # Same algorithm, different groups => decompression required.
+        workload = Workload([Predicate("eq", "/a", "/b")])
+        model = CostModel(profiles(), workload)
+        config = CompressionConfiguration(groups=[
+            ContainerGroup(("/a",), "huffman"),
+            ContainerGroup(("/b",), "huffman"),
+            ContainerGroup(("/d",), "bzip2")])
+        assert model.decompression_cost(config) > 0.0
+
+    def test_constant_predicate_charges_one_container(self):
+        workload = Workload([Predicate("ineq", "/a")])
+        model = CostModel(profiles(), workload)
+        blob = CompressionConfiguration.singletons(
+            ["/a", "/b", "/d"], "bzip2")
+        alm_first = CompressionConfiguration(groups=[
+            ContainerGroup(("/a",), "alm"),
+            ContainerGroup(("/b",), "bzip2"),
+            ContainerGroup(("/d",), "bzip2")])
+        assert model.decompression_cost(alm_first) == 0.0
+        assert model.decompression_cost(blob) > 0.0
+
+    def test_wild_predicate_prefers_huffman(self):
+        workload = Workload([Predicate("wild", "/a")])
+        model = CostModel(profiles(), workload)
+        huffman = CompressionConfiguration(groups=[
+            ContainerGroup(("/a",), "huffman"),
+            ContainerGroup(("/b",), "bzip2"),
+            ContainerGroup(("/d",), "bzip2")])
+        alm = CompressionConfiguration(groups=[
+            ContainerGroup(("/a",), "alm"),
+            ContainerGroup(("/b",), "bzip2"),
+            ContainerGroup(("/d",), "bzip2")])
+        assert model.decompression_cost(huffman) == 0.0
+        assert model.decompression_cost(alm) > 0.0
+
+
+class TestTotalCost:
+    def test_breakdown_sums(self):
+        workload = Workload([Predicate("eq", "/a", "/b")])
+        model = CostModel(profiles(), workload)
+        config = CompressionConfiguration.singletons(
+            ["/a", "/b", "/d"], "huffman")
+        parts = model.breakdown(config)
+        assert parts["total"] == pytest.approx(
+            parts["storage"] + parts["models"] + parts["decompression"])
+
+    def test_weights_respected(self):
+        workload = Workload([Predicate("ineq", "/a", "/b")])
+        config = CompressionConfiguration.singletons(
+            ["/a", "/b", "/d"], "huffman")
+        light = CostModel(profiles(), workload,
+                          decompression_weight=0.0).cost(config)
+        heavy = CostModel(profiles(), workload,
+                          decompression_weight=10.0).cost(config)
+        assert heavy > light

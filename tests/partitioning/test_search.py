@@ -1,0 +1,118 @@
+"""Tests for the §3.3 greedy configuration search."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioning.config import CompressionConfiguration
+from repro.partitioning.cost import ContainerProfile, CostModel
+from repro.partitioning.search import (
+    choose_enabling_algorithm,
+    greedy_search,
+)
+from repro.partitioning.workload import Predicate, Workload
+
+PROSE = ["the quick brown fox jumps over the lazy dog again"] * 30
+NAMES = ["John Smith", "Jane Poe", "Judy Moe", "Jack Doe"] * 30
+DATES = ["1999-12-31", "2000-01-01", "2011-06-15", "1987-03-21"] * 30
+
+
+def profiles():
+    return [
+        ContainerProfile.from_values("/p1", PROSE),
+        ContainerProfile.from_values("/p2", PROSE),
+        ContainerProfile.from_values("/names", NAMES),
+        ContainerProfile.from_values("/dates", DATES),
+    ]
+
+
+class TestChooseEnablingAlgorithm:
+    def test_ineq_selects_order_preserving(self):
+        assert choose_enabling_algorithm(
+            "ineq", ("alm", "huffman", "bzip2")) == "alm"
+
+    def test_wild_selects_huffman(self):
+        assert choose_enabling_algorithm(
+            "wild", ("alm", "huffman", "bzip2")) == "huffman"
+
+    def test_nothing_enables(self):
+        assert choose_enabling_algorithm("ineq", ("huffman", "bzip2")) \
+            is None
+
+    def test_hutucker_dominates_when_available(self):
+        # eq+ineq+wild all true: most properties.
+        assert choose_enabling_algorithm(
+            "eq", ("alm", "huffman", "hutucker")) == "hutucker"
+
+
+class TestGreedySearch:
+    def test_no_workload_keeps_initial(self):
+        config, _ = greedy_search(profiles(), Workload(), seed=1)
+        assert all(g.algorithm == "bzip2" for g in config.groups)
+        assert len(config.groups) == 4
+
+    def test_inequality_workload_switches_to_alm(self):
+        workload = Workload([Predicate("ineq", "/names")] * 5)
+        config, _ = greedy_search(profiles(), workload, seed=1)
+        assert config.algorithm_of("/names") == "alm"
+
+    def test_join_groups_similar_containers(self):
+        workload = Workload([Predicate("ineq", "/p1", "/p2")] * 5)
+        config, _ = greedy_search(profiles(), workload, seed=1)
+        assert config.group_of("/p1") is config.group_of("/p2")
+        assert config.algorithm_of("/p1") == "alm"
+
+    def test_untouched_containers_keep_generic_compression(self):
+        workload = Workload([Predicate("eq", "/names")] * 3)
+        config, _ = greedy_search(profiles(), workload, seed=1)
+        assert config.algorithm_of("/dates") == "bzip2"
+
+    def test_never_worse_than_initial(self):
+        workload = Workload([
+            Predicate("ineq", "/p1", "/p2"),
+            Predicate("eq", "/names"),
+            Predicate("wild", "/dates"),
+        ])
+        model = CostModel(profiles(), workload)
+        initial = CompressionConfiguration.singletons(
+            [p.path for p in profiles()], "bzip2")
+        config, cost = greedy_search(profiles(), workload, seed=7)
+        assert cost <= model.cost(initial)
+
+    def test_returned_cost_matches_model(self):
+        workload = Workload([Predicate("ineq", "/p1", "/p2")])
+        model = CostModel(profiles(), workload)
+        config, cost = greedy_search(profiles(), workload, seed=3)
+        assert cost == model.cost(config)
+
+    def test_deterministic_for_fixed_seed(self):
+        workload = Workload([
+            Predicate("ineq", "/p1", "/p2"),
+            Predicate("eq", "/names", "/dates"),
+        ])
+        a = greedy_search(profiles(), workload, seed=42)
+        b = greedy_search(profiles(), workload, seed=42)
+        assert repr(a[0]) == repr(b[0]) and a[1] == b[1]
+
+    def test_unknown_paths_in_predicates_skipped(self):
+        workload = Workload([Predicate("ineq", "/ghost", "/p1")])
+        config, _ = greedy_search(profiles(), workload, seed=1)
+        assert config.paths() == ["/dates", "/names", "/p1", "/p2"]
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.tuples(
+    st.sampled_from(["eq", "ineq", "wild"]),
+    st.sampled_from(["/p1", "/p2", "/names", "/dates"]),
+    st.sampled_from([None, "/p1", "/p2", "/names", "/dates"])),
+    max_size=8),
+    st.integers(0, 10_000))
+def test_search_never_increases_cost(predicate_specs, seed):
+    """Property: greedy result always <= initial configuration cost."""
+    workload = Workload([Predicate(kind, left, right)
+                         for kind, left, right in predicate_specs])
+    prof = profiles()
+    model = CostModel(prof, workload)
+    initial = CompressionConfiguration.singletons(
+        [p.path for p in prof], "bzip2")
+    _, cost = greedy_search(prof, workload, seed=seed)
+    assert cost <= model.cost(initial) + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the similarity matrix F."""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.partitioning.similarity import (
+    char_cosine,
+    pair_similarity,
+    similarity_matrix,
+    value_overlap,
+)
+
+
+class TestCharCosine:
+    def test_identical(self):
+        counts = Counter("hello world")
+        assert abs(char_cosine(counts, counts) - 1.0) < 1e-12
+
+    def test_disjoint_alphabets(self):
+        assert char_cosine(Counter("aaa"), Counter("zzz")) == 0.0
+
+    def test_empty(self):
+        assert char_cosine(Counter(), Counter("a")) == 0.0
+
+
+class TestValueOverlap:
+    def test_identical_sets(self):
+        assert value_overlap({"x", "y"}, {"x", "y"}) == 1.0
+
+    def test_half_overlap(self):
+        assert value_overlap({"x", "y"}, {"y", "z"}) == 1 / 3
+
+    def test_empty(self):
+        assert value_overlap(set(), {"x"}) == 0.0
+
+
+class TestPairSimilarity:
+    def test_range(self):
+        s = pair_similarity(["abc", "abd"], ["xbc", "abc"])
+        assert 0.0 <= s <= 1.0
+
+    def test_similar_beats_dissimilar(self):
+        prose_a = ["the quick brown fox jumps"]
+        prose_b = ["the lazy dog sleeps deeply"]
+        dates = ["1999-01-02", "2003-12-31"]
+        assert pair_similarity(prose_a, prose_b) > \
+            pair_similarity(prose_a, dates)
+
+
+class TestSimilarityMatrix:
+    def test_shape_and_diagonal(self):
+        F = similarity_matrix([["a"], ["b"], ["c"]])
+        assert F.shape == (3, 3)
+        assert np.allclose(np.diag(F), 1.0)
+
+    def test_symmetric(self):
+        F = similarity_matrix([["abc"], ["abd"], ["xyz"]])
+        assert np.allclose(F, F.T)
+
+    def test_values_in_unit_interval(self):
+        F = similarity_matrix([["hello"], ["world"], ["12345"]])
+        assert (F >= 0.0).all() and (F <= 1.0 + 1e-12).all()

@@ -1,0 +1,79 @@
+"""Tests for workload predicates and the E/I/D matrices."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning.workload import Predicate, Workload
+
+
+class TestPredicate:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            Predicate("like", "/a")
+
+    def test_join_detection(self):
+        assert Predicate("eq", "/a", "/b").is_join
+        assert not Predicate("eq", "/a").is_join
+
+    def test_paths(self):
+        assert Predicate("ineq", "/a", "/b").paths() == ("/a", "/b")
+        assert Predicate("wild", "/a").paths() == ("/a",)
+
+
+class TestMatrices:
+    PATHS = ["/a", "/b", "/c"]
+
+    def test_join_symmetric(self):
+        workload = Workload([Predicate("eq", "/a", "/b")])
+        E = workload.matrices(self.PATHS)["eq"]
+        assert E[0, 1] == 1 and E[1, 0] == 1
+        assert E.sum() == 2
+
+    def test_constant_column(self):
+        workload = Workload([Predicate("ineq", "/b")])
+        I = workload.matrices(self.PATHS)["ineq"]
+        assert I[1, 3] == 1 and I[3, 1] == 1
+
+    def test_self_comparison_diagonal(self):
+        workload = Workload([Predicate("eq", "/c", "/c")])
+        E = workload.matrices(self.PATHS)["eq"]
+        assert E[2, 2] == 1
+
+    def test_kinds_separated(self):
+        workload = Workload([
+            Predicate("eq", "/a", "/b"),
+            Predicate("ineq", "/a", "/b"),
+            Predicate("wild", "/a"),
+        ])
+        m = workload.matrices(self.PATHS)
+        assert m["eq"][0, 1] == 1
+        assert m["ineq"][0, 1] == 1
+        assert m["wild"][0, 3] == 1
+        assert m["wild"][0, 1] == 0
+
+    def test_unknown_paths_ignored(self):
+        workload = Workload([Predicate("eq", "/nope", "/a"),
+                             Predicate("eq", "/a", "/nope")])
+        E = workload.matrices(self.PATHS)["eq"]
+        assert E.sum() == 0
+
+    def test_counts_accumulate(self):
+        workload = Workload([Predicate("eq", "/a", "/b")] * 3)
+        E = workload.matrices(self.PATHS)["eq"]
+        assert E[0, 1] == 3
+
+    def test_matrix_shape_and_dtype(self):
+        m = Workload().matrices(self.PATHS)
+        for matrix in m.values():
+            assert matrix.shape == (4, 4)
+            assert matrix.dtype == np.int64
+
+    def test_touched_paths(self):
+        workload = Workload([Predicate("eq", "/a", "/b"),
+                             Predicate("wild", "/c")])
+        assert workload.touched_paths() == {"/a", "/b", "/c"}
+
+    def test_add_and_len(self):
+        workload = Workload()
+        workload.add(Predicate("eq", "/a"))
+        assert len(workload) == 1

@@ -1,0 +1,180 @@
+"""Tests for the item model and compressed-domain comparisons."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.registry import train_codec
+from repro.errors import QueryTypeError
+from repro.query.context import (
+    CompressedItem,
+    EvaluationStats,
+    NodeItem,
+    compare_items,
+    effective_boolean,
+    number_value,
+    string_value,
+)
+from repro.xmlio.dom import Element, Text
+
+WORDS = ["apple", "banana", "cherry", "date", "elderberry"]
+
+
+def items_for(codec_name, values=WORDS):
+    codec = train_codec(codec_name, values)
+    return {v: CompressedItem(codec.encode(v), codec) for v in values}
+
+
+class TestCompressedComparison:
+    def test_alm_inequality_compressed(self):
+        stats = EvaluationStats()
+        items = items_for("alm")
+        assert compare_items("<", items["apple"], items["banana"], stats)
+        assert not compare_items(">", items["apple"], items["banana"],
+                                 stats)
+        assert stats.compressed_comparisons == 2
+        assert stats.decompressions == 0
+
+    def test_huffman_equality_compressed(self):
+        stats = EvaluationStats()
+        items = items_for("huffman")
+        assert compare_items("=", items["date"], items["date"], stats)
+        assert compare_items("!=", items["date"], items["apple"], stats)
+        assert stats.compressed_comparisons == 2
+        assert stats.decompressions == 0
+
+    def test_huffman_inequality_decompresses(self):
+        stats = EvaluationStats()
+        items = items_for("huffman")
+        assert compare_items("<", items["apple"], items["banana"], stats)
+        assert stats.decompressed_comparisons == 1
+        assert stats.decompressions == 2
+
+    def test_different_codecs_decompress(self):
+        stats = EvaluationStats()
+        a = items_for("alm")["apple"]
+        b = items_for("huffman")["apple"]
+        assert compare_items("=", a, b, stats)
+        assert stats.decompressed_comparisons == 1
+
+
+class TestConstantComparison:
+    def test_equality_against_constant_compressed(self):
+        stats = EvaluationStats()
+        item = items_for("huffman")["cherry"]
+        assert compare_items("=", item, "cherry", stats)
+        assert not compare_items("=", item, "apple", stats)
+        assert stats.decompressions == 0
+
+    def test_out_of_model_constant_never_equal(self):
+        stats = EvaluationStats()
+        item = items_for("huffman")["cherry"]
+        assert not compare_items("=", item, "XYZ!", stats)
+        assert compare_items("!=", item, "XYZ!", stats)
+        assert stats.decompressions == 0
+
+    def test_inequality_against_constant_with_alm(self):
+        stats = EvaluationStats()
+        item = items_for("alm")["banana"]
+        assert compare_items("<", item, "cherry", stats)
+        assert compare_items(">", item, "apple", stats)
+        assert stats.decompressions == 0
+
+    def test_flipped_operands(self):
+        stats = EvaluationStats()
+        item = items_for("alm")["banana"]
+        assert compare_items("<", "apple", item, stats)
+        assert compare_items(">=", "cherry", item, stats)
+
+    def test_numeric_constant_on_string_container_decodes(self):
+        stats = EvaluationStats()
+        codec = train_codec("alm", ["10", "9"])
+        item = CompressedItem(codec.encode("10"), codec, "string")
+        # Numeric semantics: 10 > 9 even though "10" < "9".
+        assert compare_items(">", item, 9.0, stats)
+        assert stats.decompressions >= 1
+
+    def test_numeric_container_compressed_numeric_compare(self):
+        stats = EvaluationStats()
+        codec = train_codec("integer", ["5", "100"])
+        item = CompressedItem(codec.encode("42"), codec, "int")
+        assert compare_items(">", item, 9.0, stats)
+        assert compare_items("<", item, 100.0, stats)
+        assert stats.decompressions == 0
+
+    def test_fractional_constant_on_int_container(self):
+        stats = EvaluationStats()
+        codec = train_codec("integer", ["5", "100"])
+        item = CompressedItem(codec.encode("42"), codec, "int")
+        # 42 vs 41.5 cannot be answered on the int codec; falls back.
+        assert compare_items(">", item, 41.5, stats)
+
+
+class TestAtomicHelpers:
+    def test_string_value(self):
+        stats = EvaluationStats()
+        assert string_value("x", stats) == "x"
+        assert string_value(True, stats) == "true"
+        assert string_value(3.0, stats) == "3"
+        assert string_value(3.5, stats) == "3.5"
+        element = Element("a", children=[Text("hi")])
+        assert string_value(element, stats) == "hi"
+
+    def test_string_value_decodes(self):
+        stats = EvaluationStats()
+        item = items_for("alm")["apple"]
+        assert string_value(item, stats) == "apple"
+        assert stats.decompressions == 1
+
+    def test_number_value(self):
+        stats = EvaluationStats()
+        assert number_value("4.5", stats) == 4.5
+        assert number_value(True, stats) == 1.0
+        assert number_value(7, stats) == 7.0
+        with pytest.raises(QueryTypeError):
+            number_value(NodeItem(0), stats)
+
+    def test_decode_memoised(self):
+        stats = EvaluationStats()
+        item = items_for("alm")["date"]
+        item.decode(stats)
+        item.decode(stats)
+        assert stats.decompressions == 1
+
+
+class TestEffectiveBoolean:
+    def test_empty_false(self):
+        assert not effective_boolean([])
+
+    def test_node_true(self):
+        assert effective_boolean([NodeItem(3)])
+
+    def test_atomics(self):
+        assert effective_boolean(["x"])
+        assert not effective_boolean([""])
+        assert not effective_boolean([0.0])
+        assert effective_boolean([0.5])
+        assert not effective_boolean([False])
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(QueryTypeError):
+            effective_boolean([1.0, 2.0])
+
+    def test_multi_node_ok(self):
+        assert effective_boolean([NodeItem(1), NodeItem(2)])
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.lists(st.text(alphabet="abcde", min_size=1, max_size=6),
+                min_size=2, max_size=8),
+       st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+def test_compressed_comparison_matches_python(values, op):
+    """ALM compressed comparisons == Python string comparisons."""
+    stats = EvaluationStats()
+    codec = train_codec("alm", values)
+    items = [CompressedItem(codec.encode(v), codec) for v in values]
+    for a, item_a in zip(values, items):
+        for b, item_b in zip(values, items):
+            expected = {"<": a < b, "<=": a <= b, ">": a > b,
+                        ">=": a >= b, "=": a == b, "!=": a != b}[op]
+            assert compare_items(op, item_a, item_b, stats) == expected

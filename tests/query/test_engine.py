@@ -1,0 +1,217 @@
+"""End-to-end tests of the query engine over a compressed repository."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.engine import QueryEngine
+from repro.storage.loader import load_document
+
+DOC = """
+<site>
+  <people>
+    <person id="person0"><name>Alice</name><age>31</age>
+      <city>Paris</city></person>
+    <person id="person1"><name>Bob</name><age>27</age>
+      <city>Lyon</city></person>
+    <person id="person2"><name>Carol</name><age>45</age>
+      <city>Paris</city></person>
+  </people>
+  <auctions>
+    <auction id="a0"><buyer person="person1"/><price>10</price></auction>
+    <auction id="a1"><buyer person="person0"/><price>55</price></auction>
+    <auction id="a2"><buyer person="person1"/><price>7</price></auction>
+  </auctions>
+</site>
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(load_document(DOC))
+
+
+class TestPaths:
+    def test_absolute_child_path(self, engine):
+        result = engine.execute("/site/people/person/name/text()")
+        assert result.items == ["Alice", "Bob", "Carol"]
+
+    def test_descendant_path(self, engine):
+        result = engine.execute("//name/text()")
+        assert result.items == ["Alice", "Bob", "Carol"]
+
+    def test_attribute_path(self, engine):
+        result = engine.execute("/site/people/person/@id")
+        assert result.items == ["person0", "person1", "person2"]
+
+    def test_wildcard(self, engine):
+        result = engine.execute("/site/*")
+        xml = result.to_xml()
+        assert "<people>" in xml and "<auctions>" in xml
+
+    def test_document_function_root(self, engine):
+        result = engine.execute(
+            'document("x.xml")/site/people/person/name/text()')
+        assert result.items == ["Alice", "Bob", "Carol"]
+
+    def test_missing_tag_empty(self, engine):
+        assert engine.execute("/site/nothing").items == []
+
+    def test_summary_access_used(self, engine):
+        result = engine.execute("/site/people/person")
+        assert result.stats.summary_accesses >= 1
+
+
+class TestPredicates:
+    def test_value_predicate(self, engine):
+        result = engine.execute(
+            '/site/people/person[name = "Bob"]/@id')
+        assert result.items == ["person1"]
+
+    def test_attribute_predicate(self, engine):
+        result = engine.execute(
+            '/site/people/person[@id = "person2"]/name/text()')
+        assert result.items == ["Carol"]
+
+    def test_positional_predicate(self, engine):
+        result = engine.execute("/site/people/person[2]/name/text()")
+        assert result.items == ["Bob"]
+
+    def test_numeric_comparison(self, engine):
+        result = engine.execute(
+            "/site/people/person[age > 30]/name/text()")
+        assert result.items == ["Alice", "Carol"]
+
+    def test_contains(self, engine):
+        result = engine.execute(
+            'for $p in /site/people/person '
+            'where contains($p/city/text(), "ari") '
+            'return $p/name/text()')
+        assert result.items == ["Alice", "Carol"]
+
+
+class TestFLWOR:
+    def test_basic_for(self, engine):
+        result = engine.execute(
+            "for $p in /site/people/person return $p/name/text()")
+        assert result.items == ["Alice", "Bob", "Carol"]
+
+    def test_where_filters(self, engine):
+        result = engine.execute(
+            'for $p in /site/people/person where $p/age/text() >= 31 '
+            'return $p/name/text()')
+        assert result.items == ["Alice", "Carol"]
+
+    def test_let_binding(self, engine):
+        result = engine.execute(
+            "for $p in /site/people/person let $n := $p/name/text() "
+            'where $p/city/text() = "Lyon" return $n')
+        assert result.items == ["Bob"]
+
+    def test_join_two_vars(self, engine):
+        result = engine.execute(
+            "for $p in /site/people/person, "
+            "$a in /site/auctions/auction "
+            "where $a/buyer/@person = $p/@id "
+            "return $p/name/text()")
+        assert sorted(result.items) == ["Alice", "Bob", "Bob"]
+
+    def test_join_uses_hash_index(self, engine):
+        result = engine.execute(
+            "for $p in /site/people/person, "
+            "$a in /site/auctions/auction "
+            "where $a/buyer/@person = $p/@id "
+            "return $a/price/text()")
+        assert result.stats.hash_joins >= 1
+
+    def test_nested_flwor_count(self, engine):
+        result = engine.execute(
+            "for $p in /site/people/person "
+            "let $a := for $t in /site/auctions/auction "
+            "where $t/buyer/@person = $p/@id return $t "
+            "return count($a)")
+        assert result.items == [1.0, 2.0, 0.0]
+
+    def test_aggregates(self, engine):
+        result = engine.execute(
+            "sum(for $a in /site/auctions/auction "
+            "return number($a/price/text()))")
+        assert result.items == [72.0]
+
+    def test_avg_min_max(self, engine):
+        assert engine.execute(
+            "avg(/site/auctions/auction/price/text())").items == [24.0]
+        assert engine.execute(
+            "min(/site/auctions/auction/price/text())").items == [7.0]
+        assert engine.execute(
+            "max(/site/auctions/auction/price/text())").items == [55.0]
+
+
+class TestConstructors:
+    def test_simple_construction(self, engine):
+        result = engine.execute(
+            'for $p in /site/people/person '
+            'where $p/@id = "person0" '
+            'return <out name="{$p/name/text()}">{$p/age/text()}</out>')
+        assert result.to_xml() == '<out name="Alice">31</out>'
+
+    def test_node_materialization(self, engine):
+        result = engine.execute(
+            '/site/people/person[@id = "person1"]')
+        xml = result.to_xml()
+        assert xml.startswith('<person id="person1">')
+        assert "<name>Bob</name>" in xml
+
+    def test_nested_constructors(self, engine):
+        result = engine.execute(
+            "<all>{for $p in /site/people/person "
+            "return <n>{$p/name/text()}</n>}</all>")
+        assert result.to_xml() == \
+            "<all><n>Alice</n><n>Bob</n><n>Carol</n></all>"
+
+
+class TestCompressedDomain:
+    def test_equality_stays_compressed(self, engine):
+        result = engine.execute(
+            'for $p in /site/people/person '
+            'where $p/city/text() = "Paris" return $p/@id')
+        assert result.items == ["person0", "person2"]
+
+    def test_inequality_stays_compressed_with_alm(self, engine):
+        result = engine.execute(
+            'for $p in /site/people/person '
+            'where $p/name/text() < "Bob" return $p/name/text()')
+        assert result.items == ["Alice"]
+        # The filter itself ran compressed (decompressions only for the
+        # final result serialization).
+        assert result.stats.compressed_comparisons >= 1
+
+    def test_range_plan_uses_container_access(self, engine):
+        result = engine.execute(
+            'for $p in /site/people/person '
+            'where $p/city/text() = "Paris" return $p/@id')
+        assert result.stats.container_accesses >= 1
+
+    def test_numeric_range_on_typed_container(self, engine):
+        result = engine.execute(
+            "for $a in /site/auctions/auction "
+            "where $a/price/text() > 9 return $a/@id")
+        assert result.items == ["a0", "a1"]
+
+
+class TestErrors:
+    def test_unbound_variable(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute("$ghost")
+
+    def test_context_without_focus(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute("@id = 'x'")
+
+
+class TestStats:
+    def test_result_length(self, engine):
+        assert len(engine.execute("/site/people/person")) == 3
+
+    def test_values_serializes_elements(self, engine):
+        values = engine.execute("<a/>").values()
+        assert values == ["<a/>"]

@@ -1,0 +1,60 @@
+"""Tests for the plan explanation facility."""
+
+from repro.query.explain import explain
+from repro.xmark.queries import query_text
+
+
+class TestExplain:
+    def test_summary_access_reported(self):
+        plan = explain("/site/people/person")
+        assert "StructureSummaryAccess" in plan
+
+    def test_range_plan_reported(self):
+        plan = explain(
+            'for $p in /site/people/person '
+            'where $p/name/text() = "Bob" return $p')
+        assert "ContAccess interval" in plan
+        assert "Parent^1" in plan
+
+    def test_hash_join_reported(self):
+        plan = explain(query_text("Q8"))
+        assert "HashJoin" in plan
+        assert "build side cacheable" in plan
+
+    def test_fulltext_plan_reported(self):
+        plan = explain(
+            'for $i in /site/item '
+            'where word-contains($i/desc/text(), "gold") return $i')
+        assert "FullTextIndex lookup" in plan
+        assert "'gold'" in plan
+
+    def test_fallback_select_reported(self):
+        plan = explain(
+            "for $i in /site/item "
+            "where $i/a/text() = $i/b/text() return $i")
+        assert "Select" in plan
+
+    def test_order_by_reported(self):
+        plan = explain(
+            "for $i in /site/item order by $i/p/text() descending "
+            "return $i")
+        assert "order by (descending)" in plan
+
+    def test_constructor_reported(self):
+        plan = explain('for $i in /a return <out>{$i/b}</out>')
+        assert "construct <out>" in plan
+        assert "Decompress" in plan
+
+    def test_nested_flwor(self):
+        plan = explain(query_text("Q9"))
+        assert plan.count("for $") >= 3
+        assert "HashJoin" in plan
+
+    def test_aggregate_path(self):
+        plan = explain("count(//person)")
+        assert "count(...)" in plan
+        assert "StructureSummaryAccess" in plan
+
+    def test_predicated_path_noted(self):
+        plan = explain('/site/person[@id = "x"]')
+        assert "per-step evaluation" in plan

@@ -1,0 +1,122 @@
+"""Tests for the §6 full-text extension."""
+
+import pytest
+
+from repro.baselines.galax import GalaxEngine
+from repro.query.engine import QueryEngine
+from repro.query.fulltext import FullTextIndex, tokenize
+from repro.storage.loader import load_document
+
+DOC = """
+<site>
+  <item id="i0"><name>gold ring</name>
+    <desc>a fine Gold band, hand made</desc></item>
+  <item id="i1"><name>silver chain</name>
+    <desc>polished silver links</desc></item>
+  <item id="i2"><name>golden bowl</name>
+    <desc>large golden bowl with gold leaf</desc></item>
+</site>
+"""
+
+QUERY = ('for $i in /site/item '
+         'where word-contains($i/desc/text(), "gold") '
+         "return $i/@id")
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return load_document(DOC)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert tokenize("item 42") == ["item", "42"]
+
+    def test_underscore_not_a_word_char(self):
+        assert tokenize("a_b") == ["a", "b"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestWordContainsFunction:
+    def test_whole_word_semantics(self, repo):
+        engine = QueryEngine(repo)
+        # "gold" matches i0 and i2 (gold leaf) but NOT "golden" alone.
+        assert engine.execute(QUERY).items == ["i0", "i2"]
+
+    def test_case_insensitive(self, repo):
+        engine = QueryEngine(repo)
+        result = engine.execute(
+            'for $i in /site/item '
+            'where word-contains($i/desc/text(), "GOLD") '
+            "return $i/@id")
+        assert result.items == ["i0", "i2"]
+
+    def test_multi_word_needle(self, repo):
+        engine = QueryEngine(repo)
+        result = engine.execute(
+            'for $i in /site/item '
+            'where word-contains($i/desc/text(), "gold leaf") '
+            "return $i/@id")
+        assert result.items == ["i2"]
+
+    def test_galax_agrees(self, repo):
+        assert QueryEngine(repo).execute(QUERY).to_xml() == \
+            GalaxEngine(DOC).execute_to_xml(QUERY)
+
+
+class TestFullTextIndex:
+    def test_build_and_lookup(self, repo):
+        index = FullTextIndex.build(
+            repo.container("/site/item/desc/#text"))
+        assert index.word_count > 5
+        assert len(index.lookup("gold")) == 2
+        assert index.lookup("ghostword") == []
+
+    def test_lookup_all_conjunctive(self, repo):
+        index = FullTextIndex.build(
+            repo.container("/site/item/desc/#text"))
+        assert len(index.lookup_all(["gold", "leaf"])) == 1
+        assert index.lookup_all(["gold", "silver"]) == []
+        assert index.lookup_all([]) == []
+
+    def test_size_accounting(self, repo):
+        index = FullTextIndex.build(
+            repo.container("/site/item/desc/#text"))
+        assert index.size_bytes() > 0
+
+
+class TestIndexedAccessPath:
+    def test_registered_index_used(self, repo):
+        engine = QueryEngine(repo)
+        engine.build_fulltext_index("/site/item/desc/#text")
+        result = engine.execute(QUERY)
+        assert result.items == ["i0", "i2"]
+        # The access path shows up as a container access without a
+        # per-record scan.
+        assert result.stats.container_accesses >= 1
+
+    def test_index_results_equal_plain_results(self, repo):
+        plain = QueryEngine(repo)
+        indexed = QueryEngine(repo)
+        indexed.build_fulltext_index("/site/item/desc/#text")
+        for needle in ("gold", "silver", "golden", "bowl gold",
+                       "nothing"):
+            query = ('for $i in /site/item where '
+                     f'word-contains($i/desc/text(), "{needle}") '
+                     "return $i/@id")
+            assert indexed.execute(query).items == \
+                plain.execute(query).items, needle
+
+    def test_unindexed_container_falls_back(self, repo):
+        engine = QueryEngine(repo)
+        engine.build_fulltext_index("/site/item/desc/#text")
+        result = engine.execute(
+            'for $i in /site/item '
+            'where word-contains($i/name/text(), "gold") '
+            "return $i/@id")
+        assert result.items == ["i0"]

@@ -1,0 +1,110 @@
+"""Tests for the built-in function library."""
+
+import pytest
+
+from repro.compression.registry import train_codec
+from repro.errors import QueryTypeError
+from repro.query.context import CompressedItem, EvaluationStats
+from repro.query.functions import FUNCTIONS
+
+
+def call(name, *arg_sequences):
+    stats = EvaluationStats()
+    return FUNCTIONS[name](list(arg_sequences), stats), stats
+
+
+class TestStringFunctions:
+    def test_contains(self):
+        assert call("contains", ["hello world"], ["lo w"])[0] == [True]
+        assert call("contains", ["hello"], ["xyz"])[0] == [False]
+
+    def test_contains_empty_args(self):
+        assert call("contains", [], ["x"])[0] == [False]
+
+    def test_starts_with_plain(self):
+        assert call("starts-with", ["hello"], ["he"])[0] == [True]
+        assert call("starts-with", ["hello"], ["lo"])[0] == [False]
+
+    def test_starts_with_compressed_domain(self):
+        codec = train_codec("huffman", ["alpha", "beta"])
+        item = CompressedItem(codec.encode("alpha"), codec)
+        stats = EvaluationStats()
+        result = FUNCTIONS["starts-with"]([[item], ["al"]], stats)
+        assert result == [True]
+        assert stats.decompressions == 0
+        assert stats.compressed_comparisons == 1
+
+    def test_starts_with_out_of_model_prefix(self):
+        codec = train_codec("huffman", ["alpha"])
+        item = CompressedItem(codec.encode("alpha"), codec)
+        stats = EvaluationStats()
+        assert FUNCTIONS["starts-with"]([[item], ["XY"]], stats) == \
+            [False]
+
+    def test_string_and_length(self):
+        assert call("string", [42.0])[0] == ["42"]
+        assert call("string", [])[0] == [""]
+        assert call("string-length", ["hello"])[0] == [5.0]
+
+
+class TestAggregates:
+    def test_count(self):
+        assert call("count", [1.0, 2.0, 3.0])[0] == [3.0]
+        assert call("count", [])[0] == [0.0]
+
+    def test_sum_avg(self):
+        assert call("sum", [1.0, 2.0, 3.0])[0] == [6.0]
+        assert call("avg", [1.0, 2.0, 3.0])[0] == [2.0]
+        assert call("avg", [])[0] == []
+        assert call("sum", [])[0] == [0.0]
+
+    def test_min_max(self):
+        assert call("min", [3.0, 1.0, 2.0])[0] == [1.0]
+        assert call("max", [3.0, 1.0, 2.0])[0] == [3.0]
+        assert call("min", [])[0] == []
+
+    def test_sum_coerces_strings(self):
+        assert call("sum", ["1", "2.5"])[0] == [3.5]
+
+
+class TestSequenceFunctions:
+    def test_empty(self):
+        assert call("empty", [])[0] == [True]
+        assert call("empty", ["x"])[0] == [False]
+
+    def test_not(self):
+        assert call("not", [])[0] == [True]
+        assert call("not", [True])[0] == [False]
+
+    def test_zero_or_one(self):
+        assert call("zero-or-one", ["a"])[0] == ["a"]
+        assert call("zero-or-one", [])[0] == []
+        with pytest.raises(QueryTypeError):
+            call("zero-or-one", ["a", "b"])
+
+    def test_number(self):
+        assert call("number", ["42"])[0] == [42.0]
+        assert call("number", [])[0] == []
+
+    def test_distinct_values(self):
+        assert call("distinct-values", ["a", "b", "a"])[0] == ["a", "b"]
+
+    def test_distinct_compressed_without_decode(self):
+        codec = train_codec("huffman", ["x", "y"])
+        items = [CompressedItem(codec.encode("x"), codec),
+                 CompressedItem(codec.encode("x"), codec),
+                 CompressedItem(codec.encode("y"), codec)]
+        stats = EvaluationStats()
+        result = FUNCTIONS["distinct-values"]([items], stats)
+        assert len(result) == 2
+        assert stats.decompressions == 0
+
+
+class TestArity:
+    @pytest.mark.parametrize("name,args", [
+        ("count", []), ("contains", [["x"]]), ("sum", [[], []]),
+    ])
+    def test_wrong_arity(self, name, args):
+        stats = EvaluationStats()
+        with pytest.raises(QueryTypeError):
+            FUNCTIONS[name](args, stats)

@@ -1,0 +1,89 @@
+"""Tests for the query tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.lexer import Lexer, TokenType
+
+
+def tokens_of(text):
+    lexer = Lexer(text)
+    out = []
+    while True:
+        token = lexer.next()
+        if token.type == TokenType.EOF:
+            return out
+        out.append(token)
+
+
+class TestScanning:
+    def test_keywords_vs_names(self):
+        tokens = tokens_of("for person in site")
+        assert [t.type for t in tokens] == [
+            TokenType.KEYWORD, TokenType.NAME, TokenType.KEYWORD,
+            TokenType.NAME]
+
+    def test_strings_both_quotes(self):
+        tokens = tokens_of("\"double\" 'single'")
+        assert [t.value for t in tokens] == ["double", "single"]
+
+    def test_numbers(self):
+        tokens = tokens_of("42 3.14 1e3 2.5e-2")
+        assert [t.value for t in tokens] == ["42", "3.14", "1e3",
+                                             "2.5e-2"]
+
+    def test_two_char_punct_wins(self):
+        tokens = tokens_of("// := != <= >=")
+        assert [t.value for t in tokens] == [
+            "DSLASH", "ASSIGN", "NE", "LE", "GE"]
+
+    def test_variables(self):
+        tokens = tokens_of("$item")
+        assert tokens[0].value == "DOLLAR"
+        assert tokens[1].value == "item"
+
+    def test_comments_skipped(self):
+        tokens = tokens_of("for (: a comment :) $x")
+        assert [t.value for t in tokens] == ["for", "DOLLAR", "x"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(QuerySyntaxError):
+            tokens_of("(: never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokens_of('"never closed')
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokens_of("for # in")
+
+
+class TestLookaheadAndRewind:
+    def test_peek_does_not_consume(self):
+        lexer = Lexer("a b")
+        assert lexer.peek().value == "a"
+        assert lexer.peek(1).value == "b"
+        assert lexer.next().value == "a"
+
+    def test_mark_reset(self):
+        lexer = Lexer("alpha beta gamma")
+        lexer.next()
+        position = lexer.mark()
+        assert lexer.next().value == "beta"
+        lexer.reset(position)
+        assert lexer.next().value == "beta"
+
+    def test_expect_helpers(self):
+        lexer = Lexer("for $x")
+        lexer.expect_keyword("for")
+        lexer.expect_punct("DOLLAR")
+        assert lexer.expect_name().value == "x"
+
+    def test_expect_failures(self):
+        with pytest.raises(QuerySyntaxError):
+            Lexer("let").expect_keyword("for")
+        with pytest.raises(QuerySyntaxError):
+            Lexer("for").expect_punct("DOLLAR")
+        with pytest.raises(QuerySyntaxError):
+            Lexer("123").expect_name()

@@ -1,0 +1,221 @@
+"""Tests for query analysis and access-path selection."""
+
+from repro.query.ast import Comparison, NumberLiteral, StringLiteral
+from repro.query.optimizer import (
+    context_free,
+    find_join_plan,
+    find_range_plan,
+    flatten_conjuncts,
+    free_vars,
+    is_absolute_simple_path,
+)
+from repro.query.parser import parse_query
+
+
+def where_of(query: str):
+    return parse_query(query).where
+
+
+class TestFreeVars:
+    def test_simple(self):
+        expr = parse_query("$a/name/text()")
+        assert free_vars(expr) == {"a"}
+
+    def test_flwor_binds(self):
+        expr = parse_query("for $x in /a/b return $x/c")
+        assert free_vars(expr) == frozenset()
+
+    def test_flwor_outer_reference(self):
+        expr = parse_query("for $x in /a/b where $x/@id = $y return $x")
+        assert free_vars(expr) == {"y"}
+
+    def test_predicate_vars_counted(self):
+        expr = parse_query("/a/b[@id = $z]")
+        assert free_vars(expr) == {"z"}
+
+    def test_constructor_vars(self):
+        expr = parse_query('<out a="{$p}">{$q}</out>')
+        assert free_vars(expr) == {"p", "q"}
+
+    def test_none(self):
+        assert free_vars(None) == frozenset()
+
+
+class TestFlattenConjuncts:
+    def test_nested_ands(self):
+        where = where_of(
+            "for $x in /a where 1 = 1 and 2 = 2 and 3 = 3 return $x")
+        assert len(flatten_conjuncts(where)) == 3
+
+    def test_or_not_split(self):
+        where = where_of(
+            "for $x in /a where 1 = 1 or 2 = 2 return $x")
+        assert len(flatten_conjuncts(where)) == 1
+
+    def test_none(self):
+        assert flatten_conjuncts(None) == []
+
+
+class TestJoinPlans:
+    def test_classic_join(self):
+        where = where_of(
+            "for $t in /s/t where $t/buyer/@person = $p/@id return $t")
+        plan = find_join_plan(where, "t", {"p"})
+        assert plan is not None
+        assert free_vars(plan.build_expr) == {"t"}
+        assert free_vars(plan.probe_expr) == {"p"}
+
+    def test_swapped_sides(self):
+        where = where_of(
+            "for $t in /s/t where $p/@id = $t/buyer/@person return $t")
+        plan = find_join_plan(where, "t", {"p"})
+        assert plan is not None
+        assert free_vars(plan.build_expr) == {"t"}
+
+    def test_constant_comparison_is_not_a_join(self):
+        where = where_of(
+            'for $t in /s/t where $t/@id = "x" return $t')
+        assert find_join_plan(where, "t", set()) is None
+
+    def test_inequality_not_hash_joinable(self):
+        where = where_of(
+            "for $t in /s/t where $t/@id < $p/@id return $t")
+        assert find_join_plan(where, "t", {"p"}) is None
+
+    def test_unbound_probe_rejected(self):
+        where = where_of(
+            "for $t in /s/t where $t/@id = $unbound/@id return $t")
+        assert find_join_plan(where, "t", set()) is None
+
+
+class TestRangePlans:
+    def test_equality(self):
+        where = where_of(
+            'for $v in /a/b where $v/name/text() = "x" return $v')
+        plan = find_range_plan(where, "v")
+        assert plan is not None
+        assert (plan.low, plan.high) == ("x", "x")
+        assert plan.ascend == 1
+        assert plan.constant_kind == "string"
+
+    def test_attribute_no_ascend(self):
+        where = where_of(
+            'for $v in /a/b where $v/@id = "x" return $v')
+        plan = find_range_plan(where, "v")
+        assert plan is not None and plan.ascend == 0
+
+    def test_inequality_bounds(self):
+        for op, low, high, li, hi in (
+                ("<", None, "m", True, False),
+                ("<=", None, "m", True, True),
+                (">", "m", None, False, True),
+                (">=", "m", None, True, True)):
+            where = where_of(
+                f'for $v in /a/b where $v/c/text() {op} "m" return $v')
+            plan = find_range_plan(where, "v")
+            assert plan is not None, op
+            assert (plan.low, plan.high) == (low, high)
+            assert (plan.low_inclusive, plan.high_inclusive) == (li, hi)
+
+    def test_swapped_constant_side_flips(self):
+        where = where_of(
+            'for $v in /a/b where "m" < $v/c/text() return $v')
+        plan = find_range_plan(where, "v")
+        assert plan is not None
+        assert plan.low == "m" and plan.high is None
+
+    def test_numeric_constant_kind(self):
+        where = where_of(
+            "for $v in /a/b where $v/c/text() > 40 return $v")
+        plan = find_range_plan(where, "v")
+        assert plan is not None and plan.constant_kind == "number"
+
+    def test_descendant_path_rejected(self):
+        where = where_of(
+            'for $v in /a/b where $v//c/text() = "x" return $v')
+        assert find_range_plan(where, "v") is None
+
+    def test_predicated_path_rejected(self):
+        where = where_of(
+            'for $v in /a/b where $v/c[2]/text() = "x" return $v')
+        assert find_range_plan(where, "v") is None
+
+    def test_element_terminal_rejected(self):
+        # $v/c atomizes the node; that is not a root-to-leaf container.
+        where = where_of(
+            'for $v in /a/b where $v/c = "x" return $v')
+        assert find_range_plan(where, "v") is None
+
+    def test_join_comparison_rejected(self):
+        where = where_of(
+            "for $v in /a/b where $v/c/text() = $w/d/text() return $v")
+        assert find_range_plan(where, "v") is None
+
+
+class TestPathClassifiers:
+    def test_absolute_simple(self):
+        assert is_absolute_simple_path(parse_query("/a/b//c"))
+
+    def test_relative_not_absolute(self):
+        assert not is_absolute_simple_path(parse_query("$x/a"))
+
+    def test_predicates_disqualify(self):
+        assert not is_absolute_simple_path(parse_query("/a/b[1]"))
+
+    def test_literal_not_a_path(self):
+        assert not is_absolute_simple_path(StringLiteral("x"))
+
+    def test_context_free(self):
+        assert context_free(parse_query("/a/b"))
+        assert context_free(parse_query("for $x in /a return $x"))
+        assert not context_free(parse_query("/a/b[@id = 'x']")
+                                .steps[1].predicates[0])
+
+    def test_context_item_detected(self):
+        predicate = parse_query("/a/b[c > 1]").steps[1].predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert not context_free(predicate)
+
+    def test_literals_context_free(self):
+        assert context_free(NumberLiteral(1.0))
+
+
+class TestFullTextPlans:
+    def test_classified(self):
+        from repro.query.optimizer import find_fulltext_plan
+        where = where_of(
+            'for $v in /a/b where word-contains($v/d/text(), "gold") '
+            "return $v")
+        plan = find_fulltext_plan(where, "v")
+        assert plan is not None
+        assert plan.words == ("gold",)
+        assert plan.ascend == 1
+
+    def test_multi_word_needle_split(self):
+        from repro.query.optimizer import find_fulltext_plan
+        where = where_of(
+            'for $v in /a/b where word-contains($v/d/text(), '
+            '"gold leaf") return $v')
+        plan = find_fulltext_plan(where, "v")
+        assert plan is not None and plan.words == ("gold", "leaf")
+
+    def test_non_literal_needle_rejected(self):
+        from repro.query.optimizer import find_fulltext_plan
+        where = where_of(
+            "for $v in /a/b where word-contains($v/d/text(), $w) "
+            "return $v")
+        assert find_fulltext_plan(where, "v") is None
+
+    def test_contains_not_indexable(self):
+        from repro.query.optimizer import find_fulltext_plan
+        where = where_of(
+            'for $v in /a/b where contains($v/d/text(), "gold") '
+            "return $v")
+        assert find_fulltext_plan(where, "v") is None
+
+    def test_empty_needle_rejected(self):
+        from repro.query.optimizer import find_fulltext_plan
+        where = where_of(
+            'for $v in /a/b where word-contains($v/d/text(), "  ") '
+            "return $v")
+        assert find_fulltext_plan(where, "v") is None

@@ -1,0 +1,115 @@
+"""Tests for the FLWOR ``order by`` clause."""
+
+import pytest
+
+from repro.baselines.galax import GalaxEngine
+from repro.query.ast import FLWOR
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.storage.loader import load_document
+
+DOC = """
+<shop>
+  <item><name>cherry</name><price>30</price><qty>2</qty></item>
+  <item><name>apple</name><price>10</price><qty>5</qty></item>
+  <item><name>banana</name><price>30</price><qty>1</qty></item>
+  <item><name>date</name><price>5</price><qty>9</qty></item>
+  <order>legacy element named order</order>
+</shop>
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(load_document(DOC))
+
+
+class TestParsing:
+    def test_order_by_parsed(self):
+        ast = parse_query(
+            "for $i in /shop/item order by $i/price/text() "
+            "return $i/name/text()")
+        assert isinstance(ast, FLWOR)
+        assert len(ast.order) == 1
+        assert not ast.order[0].descending
+
+    def test_descending_and_multiple_keys(self):
+        ast = parse_query(
+            "for $i in /shop/item "
+            "order by $i/price/text() descending, $i/name/text() "
+            "ascending return $i")
+        assert ast.order[0].descending
+        assert not ast.order[1].descending
+
+    def test_order_stays_a_plain_name_in_paths(self):
+        ast = parse_query("/shop/order/text()")
+        assert ast.steps[1].test == "order"
+
+    def test_missing_return_rejected(self):
+        from repro.errors import QuerySyntaxError
+        with pytest.raises(QuerySyntaxError):
+            parse_query("for $i in /a order by $i")
+
+
+class TestEvaluation:
+    def test_ascending(self, engine):
+        result = engine.execute(
+            "for $i in /shop/item order by $i/name/text() "
+            "return $i/name/text()")
+        assert result.items == ["apple", "banana", "cherry", "date"]
+
+    def test_numeric_keys_sort_numerically(self, engine):
+        result = engine.execute(
+            "for $i in /shop/item order by $i/price/text() "
+            "return $i/price/text()")
+        assert result.items == ["5", "10", "30", "30"]
+
+    def test_descending(self, engine):
+        result = engine.execute(
+            "for $i in /shop/item order by $i/price/text() descending "
+            "return $i/name/text()")
+        assert result.items[0] in ("cherry", "banana")
+        assert result.items[-1] == "date"
+
+    def test_secondary_key_breaks_ties(self, engine):
+        result = engine.execute(
+            "for $i in /shop/item order by $i/price/text() descending, "
+            "$i/name/text() return $i/name/text()")
+        assert result.items == ["banana", "cherry", "apple", "date"]
+
+    def test_stable_for_equal_keys(self, engine):
+        # Equal keys keep binding order (document order here).
+        result = engine.execute(
+            "for $i in /shop/item order by $i/price/text() "
+            "return $i/name/text()")
+        assert result.items.index("cherry") < \
+            result.items.index("banana")
+
+    def test_order_with_where(self, engine):
+        result = engine.execute(
+            "for $i in /shop/item where $i/price/text() >= 10 "
+            "order by $i/qty/text() return $i/name/text()")
+        assert result.items == ["banana", "cherry", "apple"]
+
+    def test_galax_agrees(self, engine):
+        queries = [
+            "for $i in /shop/item order by $i/name/text() descending "
+            "return $i/name/text()",
+            "for $i in /shop/item order by $i/qty/text() "
+            'return <r q="{$i/qty/text()}"/>',
+            "for $i in /shop/item where $i/price/text() > 5 "
+            "order by $i/price/text(), $i/name/text() descending "
+            "return $i/name/text()",
+        ]
+        galax = GalaxEngine(DOC)
+        for query in queries:
+            assert engine.execute(query).to_xml() == \
+                galax.execute_to_xml(query), query
+
+    def test_empty_key_sorts_first(self, engine):
+        result = engine.execute(
+            "for $i in /shop/* order by $i/price/text() "
+            "return $i/name/text()")
+        # the <order> element has no price: it sorts before the items
+        # and contributes no name.
+        assert len(result.items) == 4

@@ -1,0 +1,143 @@
+"""Unit and property tests for the B+ tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+
+
+class TestInsertSearch:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(5) is None
+        assert 5 not in tree
+
+    def test_single(self):
+        tree = BPlusTree()
+        tree.insert(1, "one")
+        assert tree.search(1) == "one"
+        assert 1 in tree
+
+    def test_many_with_splits(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.insert(i, i * 10)
+        assert len(tree) == 200
+        assert tree.height > 1
+        for i in range(200):
+            assert tree.search(i) == i * 10
+
+    def test_reverse_insert_order(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(100)):
+            tree.insert(i, str(i))
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_duplicates(self):
+        tree = BPlusTree(order=3)
+        for i in range(10):
+            tree.insert(7, f"v{i}")
+        tree.insert(3, "three")
+        tree.insert(9, "nine")
+        assert len(tree.search_all(7)) == 10
+        assert tree.search(7) is not None
+
+    def test_min_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestBulkLoad:
+    def test_roundtrip(self):
+        pairs = [(i, i * 2) for i in range(500)]
+        tree = BPlusTree.bulk_load(pairs, order=8)
+        assert len(tree) == 500
+        for key, value in pairs:
+            assert tree.search(key) == value
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load([(2, "b"), (1, "a")])
+
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_leaves_chained_for_scan(self):
+        tree = BPlusTree.bulk_load(((i, i) for i in range(100)), order=4)
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        return BPlusTree.bulk_load([(i, str(i)) for i in range(0, 100, 2)],
+                                   order=5)
+
+    def test_closed_range(self, tree):
+        keys = [k for k, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_high(self, tree):
+        keys = [k for k, _ in tree.range_scan(10, 20, inclusive=False)]
+        assert keys == [10, 12, 14, 16, 18]
+
+    def test_open_low(self, tree):
+        keys = [k for k, _ in tree.range_scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_open_high(self, tree):
+        keys = [k for k, _ in tree.range_scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_bounds_between_keys(self, tree):
+        keys = [k for k, _ in tree.range_scan(11, 15)]
+        assert keys == [12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(13, 13)) == []
+
+    def test_bytes_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["pear", "apple", "fig", "date", "cherry"]:
+            tree.insert(word.encode(), word)
+        keys = [k for k, _ in tree.range_scan(b"b", b"e")]
+        assert keys == [b"cherry", b"date"]
+
+
+class TestNodeCount:
+    def test_counts(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(64)], order=4)
+        internal, leaves = tree.node_count()
+        assert leaves == 16
+        assert internal >= 1
+
+
+@settings(deadline=None)
+@given(st.lists(st.tuples(st.integers(-1000, 1000), st.integers()),
+                max_size=300))
+def test_matches_sorted_model(pairs):
+    """Tree scan must equal a stable-sorted reference model."""
+    tree = BPlusTree(order=4)
+    for key, value in pairs:
+        tree.insert(key, value)
+    assert len(tree) == len(pairs)
+    expected_keys = sorted(k for k, _ in pairs)
+    assert [k for k, _ in tree.items()] == expected_keys
+    for key, _ in pairs:
+        assert key in tree
+
+
+@settings(deadline=None)
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=200),
+       st.integers(0, 200), st.integers(0, 200))
+def test_range_scan_matches_filter(keys, low, high):
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.insert(key, key)
+    low, high = min(low, high), max(low, high)
+    got = [k for k, _ in tree.range_scan(low, high)]
+    assert got == sorted(k for k in keys if low <= k <= high)

@@ -1,0 +1,60 @@
+"""Stateful model-based testing of the B+ tree against a sorted list."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.storage.btree import BPlusTree
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Random insert/search/scan sequences vs a reference list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)  # small order: many splits
+        self.model: list[tuple[int, int]] = []
+
+    @rule(key=st.integers(-50, 50), value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model.append((key, value))
+
+    @rule(key=st.integers(-60, 60))
+    def search(self, key):
+        found = self.tree.search(key)
+        expected = [v for k, v in self.model if k == key]
+        if expected:
+            assert found in expected
+        else:
+            assert found is None
+
+    @rule(key=st.integers(-60, 60))
+    def search_all(self, key):
+        assert sorted(self.tree.search_all(key)) == \
+            sorted(v for k, v in self.model if k == key)
+
+    @rule(low=st.integers(-60, 60), high=st.integers(-60, 60))
+    def range_scan(self, low, high):
+        low, high = min(low, high), max(low, high)
+        got = [k for k, _ in self.tree.range_scan(low, high)]
+        expected = sorted(k for k, _ in self.model if low <= k <= high)
+        assert got == expected
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def full_scan_sorted(self):
+        keys = [k for k, _ in self.tree.items()]
+        assert keys == sorted(k for k, _ in self.model)
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,44 @@
+"""Tests for node identifier schemes."""
+
+from repro.storage.ids import SimpleIdAssigner, StructuralId
+
+
+class TestSimpleIds:
+    def test_sequential(self):
+        assigner = SimpleIdAssigner()
+        assert [assigner.next_id() for _ in range(3)] == [0, 1, 2]
+        assert assigner.count == 3
+
+    def test_custom_start(self):
+        assert SimpleIdAssigner(start=10).next_id() == 10
+
+
+class TestStructuralIds:
+    # Tree:  a(pre 0, post 4, lvl 0)
+    #          b(1, 1, 1)   c(3, 3, 1)
+    #            d(2, 0, 2)
+    A = StructuralId(0, 4, 0)
+    B = StructuralId(1, 1, 1)
+    C = StructuralId(3, 3, 1)
+    D = StructuralId(2, 0, 2)
+
+    def test_ancestor(self):
+        assert self.A.is_ancestor_of(self.D)
+        assert self.B.is_ancestor_of(self.D)
+        assert not self.C.is_ancestor_of(self.D)
+        assert not self.D.is_ancestor_of(self.A)
+
+    def test_not_own_ancestor(self):
+        assert not self.A.is_ancestor_of(self.A)
+
+    def test_descendant(self):
+        assert self.D.is_descendant_of(self.A)
+        assert not self.A.is_descendant_of(self.D)
+
+    def test_parent(self):
+        assert self.B.is_parent_of(self.D)
+        assert not self.A.is_parent_of(self.D)  # grandparent
+
+    def test_document_order(self):
+        assert self.A.precedes(self.B)
+        assert self.B.precedes(self.C)

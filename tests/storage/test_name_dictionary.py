@@ -1,0 +1,58 @@
+"""Tests for the name dictionary."""
+
+from repro.storage.name_dictionary import NameDictionary
+
+
+class TestIntern:
+    def test_assigns_sequential_codes(self):
+        d = NameDictionary()
+        assert d.intern("site") == 0
+        assert d.intern("people") == 1
+        assert d.intern("site") == 0
+
+    def test_lookup_both_ways(self):
+        d = NameDictionary()
+        code = d.intern("person")
+        assert d.name_of(code) == "person"
+        assert d.code_of("person") == code
+        assert d.code_of("ghost") is None
+
+    def test_contains_and_len(self):
+        d = NameDictionary()
+        d.intern("a")
+        assert "a" in d
+        assert "b" not in d
+        assert len(d) == 1
+
+
+class TestCodeBits:
+    def test_minimum_one_bit(self):
+        d = NameDictionary()
+        assert d.code_bits == 1
+        d.intern("a")
+        assert d.code_bits == 1
+
+    def test_paper_example_92_names_7_bits(self):
+        d = NameDictionary()
+        for i in range(92):
+            d.intern(f"name{i}")
+        assert d.code_bits == 7
+
+    def test_power_of_two_boundary(self):
+        d = NameDictionary()
+        for i in range(8):
+            d.intern(f"n{i}")
+        assert d.code_bits == 3
+        d.intern("extra")
+        assert d.code_bits == 4
+
+    def test_serialized_size(self):
+        d = NameDictionary()
+        d.intern("ab")
+        assert d.serialized_size_bytes() == 3
+
+    def test_names_in_code_order(self):
+        d = NameDictionary()
+        for name in ("z", "a", "m"):
+            d.intern(name)
+        assert d.names() == ["z", "a", "m"]

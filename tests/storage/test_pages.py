@@ -1,0 +1,101 @@
+"""Tests for the paged file layer, including corruption injection."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pages import (
+    PAGE_SIZE,
+    PT_DATA,
+    PageFile,
+    PagedReader,
+    PagedWriter,
+)
+
+
+@pytest.fixture
+def pagefile(tmp_path):
+    with PageFile(tmp_path / "test.pages", create=True) as pf:
+        yield pf
+
+
+class TestPageFile:
+    def test_allocate_and_roundtrip(self, pagefile):
+        page = pagefile.allocate()
+        pagefile.write_page(page, b"hello")
+        page_type, payload = pagefile.read_page(page)
+        assert page_type == PT_DATA
+        assert payload == b"hello"
+
+    def test_page_count_and_size(self, pagefile):
+        assert pagefile.page_count == 0
+        pagefile.allocate()
+        pagefile.allocate()
+        assert pagefile.page_count == 2
+        assert pagefile.size_bytes == 2 * PAGE_SIZE
+
+    def test_oversized_payload_rejected(self, pagefile):
+        page = pagefile.allocate()
+        with pytest.raises(PageError):
+            pagefile.write_page(page, b"x" * PAGE_SIZE)
+
+    def test_unallocated_page_rejected(self, pagefile):
+        with pytest.raises(PageError):
+            pagefile.write_page(3, b"data")
+        with pytest.raises(PageError):
+            pagefile.read_page(0)
+
+    def test_reopen_existing(self, tmp_path):
+        path = tmp_path / "persist.pages"
+        with PageFile(path, create=True) as pf:
+            page = pf.allocate()
+            pf.write_page(page, b"persisted")
+        with PageFile(path) as pf:
+            assert pf.page_count == 1
+            assert pf.read_page(0)[1] == b"persisted"
+
+    def test_checksum_detects_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.pages"
+        with PageFile(path, create=True) as pf:
+            page = pf.allocate()
+            pf.write_page(page, b"important data")
+        # Flip a byte in the payload region.
+        with open(path, "r+b") as f:
+            f.seek(20)
+            byte = f.read(1)
+            f.seek(20)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        with PageFile(path) as pf:
+            with pytest.raises(PageError):
+                pf.read_page(0)
+
+
+class TestPagedStream:
+    def test_small_stream(self, pagefile):
+        writer = PagedWriter(pagefile)
+        writer.write(b"alpha")
+        writer.write(b"beta")
+        pages = writer.finish()
+        assert PagedReader(pagefile, pages).read_all() == b"alphabeta"
+
+    def test_multi_page_stream(self, pagefile):
+        data = bytes(range(256)) * 100  # > 6 pages
+        writer = PagedWriter(pagefile)
+        writer.write(data)
+        pages = writer.finish()
+        assert len(pages) > 1
+        assert PagedReader(pagefile, pages).read_all() == data
+
+    def test_empty_stream(self, pagefile):
+        writer = PagedWriter(pagefile)
+        assert writer.finish() == []
+        assert PagedReader(pagefile, []).read_all() == b""
+
+    def test_interleaved_streams(self, pagefile):
+        w1 = PagedWriter(pagefile)
+        w1.write(b"A" * 5000)
+        p1 = w1.finish()
+        w2 = PagedWriter(pagefile)
+        w2.write(b"B" * 5000)
+        p2 = w2.finish()
+        assert PagedReader(pagefile, p1).read_all() == b"A" * 5000
+        assert PagedReader(pagefile, p2).read_all() == b"B" * 5000

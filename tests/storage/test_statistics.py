@@ -1,0 +1,38 @@
+"""Direct tests for DocumentStatistics."""
+
+from repro.storage.statistics import DocumentStatistics
+
+
+class TestDocumentStatistics:
+    def test_record_element(self):
+        stats = DocumentStatistics()
+        stats.record_element("person", "/site/people/person", 3)
+        stats.record_element("person", "/site/people/person", 4)
+        stats.record_element("site", "/site", 1)
+        assert stats.element_count == 3
+        assert stats.cardinality("person") == 2
+        assert stats.path_count("/site/people/person") == 2
+        assert stats.max_depth == 4
+
+    def test_fanout(self):
+        stats = DocumentStatistics()
+        stats.record_element("people", "/site/people", 2)
+        stats.record_child("people")
+        stats.record_child("people")
+        stats.record_child("people")
+        assert stats.average_fanout("people") == 3.0
+
+    def test_fanout_unknown_tag(self):
+        assert DocumentStatistics().average_fanout("ghost") == 0.0
+
+    def test_cardinality_unknown(self):
+        stats = DocumentStatistics()
+        assert stats.cardinality("nope") == 0
+        assert stats.path_count("/nope") == 0
+
+    def test_counters_start_empty(self):
+        stats = DocumentStatistics()
+        assert stats.element_count == 0
+        assert stats.attribute_count == 0
+        assert stats.text_count == 0
+        assert stats.max_depth == 0

@@ -1,0 +1,158 @@
+"""End-to-end CLI tests (compress -> stats/query/decompress)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.xmlio.dom import parse
+from repro.xmlio.writer import serialize
+
+DOC = """
+<library>
+  <book isbn="1"><title>Dune</title><price>9.99</price></book>
+  <book isbn="2"><title>Foundation</title><price>7.5</price></book>
+</library>
+"""
+
+
+def run(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def repository_file(tmp_path):
+    source = tmp_path / "lib.xml"
+    source.write_text(DOC, encoding="utf-8")
+    target = tmp_path / "lib.xqc"
+    code, output = run("compress", str(source), str(target))
+    assert code == 0 and "CF" in output
+    return target
+
+
+class TestCompress:
+    def test_reports_sizes(self, tmp_path):
+        source = tmp_path / "d.xml"
+        source.write_text(DOC, encoding="utf-8")
+        code, output = run("compress", str(source),
+                           str(tmp_path / "d.xqc"))
+        assert code == 0
+        assert "compressed" in output and "->" in output
+
+    def test_with_workload(self, tmp_path):
+        source = tmp_path / "d.xml"
+        source.write_text(DOC, encoding="utf-8")
+        workload = tmp_path / "queries.txt"
+        workload.write_text(
+            'for $b in /library/book where $b/title/text() < "M" '
+            "return $b/title/text()\n", encoding="utf-8")
+        code, output = run("compress", str(source),
+                           str(tmp_path / "d.xqc"),
+                           "--workload", str(workload))
+        assert code == 0
+        assert "workload: 1 queries" in output
+
+
+class TestQuery:
+    def test_query_result(self, repository_file):
+        code, output = run("query", str(repository_file),
+                           "/library/book/title/text()")
+        assert code == 0
+        assert output.strip().splitlines() == ["Dune", "Foundation"]
+
+    def test_query_with_stats(self, repository_file):
+        code, output = run(
+            "query", str(repository_file),
+            'for $b in /library/book where $b/price/text() < 8 '
+            "return $b/@isbn", "--stats")
+        assert code == 0
+        assert "2" in output
+        assert "# decompressions" in output
+
+
+class TestStats:
+    def test_breakdown(self, repository_file):
+        code, output = run("stats", str(repository_file))
+        assert code == 0
+        for label in ("container data", "structure summary",
+                      "compression factor"):
+            assert label in output
+
+
+class TestDecompress:
+    def test_roundtrip(self, repository_file, tmp_path):
+        target = tmp_path / "roundtrip.xml"
+        code, _ = run("decompress", str(repository_file), str(target))
+        assert code == 0
+        rebuilt = target.read_text(encoding="utf-8")
+        assert serialize(parse(rebuilt)) == serialize(parse(DOC))
+
+    def test_to_stdout(self, repository_file):
+        code, output = run("decompress", str(repository_file))
+        assert code == 0
+        assert "<title>Dune</title>" in output
+
+
+class TestXmlgen:
+    def test_to_file(self, tmp_path):
+        target = tmp_path / "auction.xml"
+        code, output = run("xmlgen", "--factor", "0.002",
+                           "--output", str(target))
+        assert code == 0 and "wrote" in output
+        assert parse(target.read_text(
+            encoding="utf-8")).root.name == "site"
+
+    def test_to_stdout(self):
+        code, output = run("xmlgen", "--factor", "0.002")
+        assert code == 0
+        assert output.startswith("<site>")
+
+
+class TestExplain:
+    def test_query_explain_flag(self, repository_file):
+        code, output = run(
+            "query", str(repository_file),
+            'for $b in /library/book where $b/title/text() = "Dune" '
+            "return $b/@isbn", "--explain")
+        assert code == 0
+        assert "# plan:" in output
+        assert "ContAccess" in output
+        assert output.strip().endswith("1")
+
+
+class TestErrors:
+    def test_missing_input_file(self, tmp_path):
+        import io
+        err = io.StringIO()
+        code = main(["compress", str(tmp_path / "ghost.xml"),
+                     str(tmp_path / "out.xqc")], out=io.StringIO(),
+                    err=err)
+        assert code == 1
+        assert "no such file" in err.getvalue()
+
+    def test_malformed_xml(self, tmp_path):
+        import io
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>", encoding="utf-8")
+        err = io.StringIO()
+        code = main(["compress", str(bad), str(tmp_path / "o.xqc")],
+                    out=io.StringIO(), err=err)
+        assert code == 1
+        assert "error:" in err.getvalue()
+
+    def test_bad_query(self, repository_file):
+        import io
+        err = io.StringIO()
+        code = main(["query", str(repository_file), "for $x return"],
+                    out=io.StringIO(), err=err)
+        assert code == 1
+
+    def test_corrupt_repository(self, tmp_path):
+        import io
+        junk = tmp_path / "junk.xqc"
+        junk.write_bytes(b"\x00" * 8192)
+        err = io.StringIO()
+        code = main(["stats", str(junk)], out=io.StringIO(), err=err)
+        assert code == 1

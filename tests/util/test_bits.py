@@ -1,0 +1,92 @@
+"""Unit and property tests for bit-level I/O."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptDataError
+from repro.util.bits import BitReader, BitWriter, bits_to_bytes, bytes_to_bits
+
+
+class TestBitWriter:
+    def test_empty_writer(self):
+        writer = BitWriter()
+        assert writer.getvalue() == b""
+        assert writer.bit_length == 0
+
+    def test_single_bit(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == b"\x80"
+        assert writer.bit_length == 1
+
+    def test_full_byte(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 0, 1, 0, 1, 0):
+            writer.write_bit(bit)
+        assert writer.getvalue() == b"\xaa"
+
+    def test_write_bits_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == b"\xa0"
+
+    def test_pad_bit_one(self):
+        writer = BitWriter()
+        writer.write_bit(0)
+        assert writer.getvalue(pad_bit=1) == b"\x7f"
+
+    def test_write_bitstring(self):
+        writer = BitWriter()
+        writer.write_bitstring("1100")
+        assert writer.getvalue() == b"\xc0"
+        assert writer.bit_length == 4
+
+    def test_len(self):
+        writer = BitWriter()
+        writer.write_bits(0, 13)
+        assert len(writer) == 13
+
+
+class TestBitReader:
+    def test_read_bits_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0x2BD, 10)
+        reader = BitReader(writer.getvalue(), 10)
+        assert reader.read_bits(10) == 0x2BD
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\x80", 1)
+        reader.read_bit()
+        with pytest.raises(CorruptDataError):
+            reader.read_bit()
+
+    def test_declared_length_too_long(self):
+        with pytest.raises(CorruptDataError):
+            BitReader(b"\x00", 9)
+
+    def test_peek_does_not_consume(self):
+        reader = BitReader(b"\x80", 1)
+        assert reader.peek_bit() == 1
+        assert reader.read_bit() == 1
+        assert reader.peek_bit() is None
+
+    def test_remaining(self):
+        reader = BitReader(b"\xff", 5)
+        reader.read_bits(2)
+        assert reader.remaining == 3
+
+
+@given(st.text(alphabet="01", max_size=200))
+def test_bits_bytes_roundtrip(bits):
+    data = bits_to_bytes(bits)
+    assert bytes_to_bits(data, len(bits)) == bits
+
+
+@given(st.lists(st.integers(0, 1), max_size=300))
+def test_writer_reader_roundtrip(bits):
+    writer = BitWriter()
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader(writer.getvalue(), writer.bit_length)
+    assert [reader.read_bit() for _ in bits] == bits

@@ -1,0 +1,112 @@
+"""Tests for the binary stream helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptDataError
+from repro.util.bytestream import ByteReader, ByteWriter
+from repro.util.varint import decode_zigzag, encode_zigzag
+
+
+class TestWriterReader:
+    def test_varint_roundtrip(self):
+        data = ByteWriter().varint(0).varint(300).varint(2**40) \
+            .getvalue()
+        reader = ByteReader(data)
+        assert [reader.varint() for _ in range(3)] == [0, 300, 2**40]
+        assert reader.exhausted
+
+    def test_signed_roundtrip(self):
+        data = ByteWriter().signed(-5).signed(0).signed(7) \
+            .signed(-(2**40)).getvalue()
+        reader = ByteReader(data)
+        assert [reader.signed() for _ in range(4)] == \
+            [-5, 0, 7, -(2**40)]
+
+    def test_string_roundtrip(self):
+        data = ByteWriter().string("héllo").string("").getvalue()
+        reader = ByteReader(data)
+        assert reader.string() == "héllo"
+        assert reader.string() == ""
+
+    def test_raw_and_exact(self):
+        data = ByteWriter().raw(b"abc").exact(b"XY").getvalue()
+        reader = ByteReader(data)
+        assert reader.raw() == b"abc"
+        assert reader.exact(2) == b"XY"
+
+    def test_float64_roundtrip(self):
+        data = ByteWriter().float64(3.25).float64(-0.5).getvalue()
+        reader = ByteReader(data)
+        assert reader.float64() == 3.25
+        assert reader.float64() == -0.5
+
+    def test_byte_roundtrip(self):
+        data = ByteWriter().byte(0).byte(255).byte(300).getvalue()
+        reader = ByteReader(data)
+        assert [reader.byte() for _ in range(3)] == [0, 255, 300 & 0xFF]
+
+    def test_chaining_returns_writer(self):
+        writer = ByteWriter()
+        assert writer.varint(1) is writer
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("method,args", [
+        ("raw", ()), ("string", ()), ("float64", ()), ("byte", ()),
+        ("exact", (4,)),
+    ])
+    def test_truncated_reads_raise(self, method, args):
+        reader = ByteReader(ByteWriter().varint(100).getvalue())
+        reader.varint()
+        with pytest.raises(CorruptDataError):
+            getattr(reader, method)(*args)
+
+    def test_truncated_raw_payload(self):
+        data = ByteWriter().varint(10).getvalue() + b"ab"
+        with pytest.raises(CorruptDataError):
+            ByteReader(data).raw()
+
+
+class TestZigzag:
+    @given(st.integers(-(2**50), 2**50))
+    def test_roundtrip(self, value):
+        assert decode_zigzag(encode_zigzag(value))[0] == value
+
+    def test_small_magnitudes_small_encodings(self):
+        assert len(encode_zigzag(-1)) == 1
+        assert len(encode_zigzag(1)) == 1
+        assert len(encode_zigzag(-63)) == 1
+        assert len(encode_zigzag(64)) == 2
+
+
+@given(st.lists(st.tuples(st.sampled_from("vsrbf"),
+                          st.integers(0, 2**30))))
+def test_mixed_field_sequences(fields):
+    """Any field sequence written is read back in order."""
+    writer = ByteWriter()
+    for kind, number in fields:
+        if kind == "v":
+            writer.varint(number)
+        elif kind == "s":
+            writer.string(str(number))
+        elif kind == "r":
+            writer.raw(number.to_bytes(4, "big"))
+        elif kind == "b":
+            writer.byte(number)
+        else:
+            writer.float64(float(number))
+    reader = ByteReader(writer.getvalue())
+    for kind, number in fields:
+        if kind == "v":
+            assert reader.varint() == number
+        elif kind == "s":
+            assert reader.string() == str(number)
+        elif kind == "r":
+            assert reader.raw() == number.to_bytes(4, "big")
+        elif kind == "b":
+            assert reader.byte() == number & 0xFF
+        else:
+            assert reader.float64() == float(number)
+    assert reader.exhausted

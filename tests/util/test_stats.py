@@ -1,0 +1,55 @@
+"""Tests for descriptive statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    compression_factor,
+    geometric_mean,
+    mean,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_two_symbols(self):
+        assert abs(shannon_entropy(["ab"]) - 1.0) < 1e-12
+
+    def test_single_symbol_zero(self):
+        assert shannon_entropy(["aaaa"]) == 0.0
+
+    def test_empty(self):
+        assert shannon_entropy([]) == 0.0
+
+    def test_four_uniform_symbols(self):
+        assert abs(shannon_entropy(["abcd"]) - 2.0) < 1e-12
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert abs(geometric_mean([1.0, 4.0]) - 2.0) < 1e-12
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestCompressionFactor:
+    def test_halved(self):
+        assert compression_factor(100, 50) == 0.5
+
+    def test_zero_original(self):
+        assert compression_factor(0, 10) == 0.0
+
+    def test_expansion_negative(self):
+        assert compression_factor(10, 20) == -1.0

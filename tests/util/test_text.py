@@ -1,0 +1,69 @@
+"""Tests for text helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.text import (
+    char_distribution,
+    char_frequencies,
+    common_prefix,
+    is_numeric_string,
+    successor_string,
+)
+
+
+class TestCharFrequencies:
+    def test_counts(self):
+        freqs = char_frequencies(["ab", "b"])
+        assert freqs["a"] == 1
+        assert freqs["b"] == 2
+
+    def test_distribution_sums_to_one(self):
+        dist = char_distribution(["aab"])
+        assert abs(sum(dist.values()) - 1.0) < 1e-12
+        assert dist["a"] == 2 / 3
+
+    def test_empty(self):
+        assert char_distribution([]) == {}
+
+
+class TestCommonPrefix:
+    def test_shared(self):
+        assert common_prefix("there", "their") == "the"
+
+    def test_disjoint(self):
+        assert common_prefix("abc", "xyz") == ""
+
+    def test_one_prefix_of_other(self):
+        assert common_prefix("the", "there") == "the"
+
+
+class TestSuccessorString:
+    def test_basic(self):
+        assert successor_string("abc") == "abd"
+
+    def test_orders_after_all_extensions(self):
+        succ = successor_string("ab")
+        assert "ab" < "abzzz" < succ
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=1000), min_size=1,
+                   max_size=10),
+           st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=1000), max_size=5))
+    def test_property(self, s, tail):
+        assert s <= s + tail < successor_string(s)
+
+
+class TestIsNumericString:
+    def test_int(self):
+        assert is_numeric_string("42")
+
+    def test_float(self):
+        assert is_numeric_string(" 3.14 ")
+
+    def test_words(self):
+        assert not is_numeric_string("fortytwo")
+
+    def test_empty(self):
+        assert not is_numeric_string("   ")

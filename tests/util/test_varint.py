@@ -1,0 +1,71 @@
+"""Tests for varint encoding and size helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptDataError
+from repro.util.varint import (
+    decode_varint,
+    delta_sizes,
+    encode_varint,
+    varint_size,
+)
+
+
+class TestVarint:
+    def test_small_values_one_byte(self):
+        for value in (0, 1, 127):
+            assert len(encode_varint(value)) == 1
+            assert varint_size(value) == 1
+
+    def test_boundaries(self):
+        assert varint_size(128) == 2
+        assert varint_size(16383) == 2
+        assert varint_size(16384) == 3
+
+    def test_roundtrip(self):
+        for value in (0, 1, 127, 128, 300, 10**9):
+            data = encode_varint(value)
+            decoded, offset = decode_varint(data)
+            assert decoded == value
+            assert offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_negative_size_estimated(self):
+        assert varint_size(-1) == 1
+        assert varint_size(-1000) == 2
+
+    def test_truncated_decode(self):
+        with pytest.raises(CorruptDataError):
+            decode_varint(b"\x80")
+
+    def test_overlong_decode(self):
+        with pytest.raises(CorruptDataError):
+            decode_varint(b"\xff" * 11)
+
+    def test_decode_with_offset(self):
+        data = encode_varint(5) + encode_varint(300)
+        value, offset = decode_varint(data, 1)
+        assert value == 300 and offset == len(data)
+
+
+class TestDeltaSizes:
+    def test_dense_ascending_is_one_byte_each(self):
+        assert delta_sizes(list(range(100, 200))) == 100
+
+    def test_empty(self):
+        assert delta_sizes([]) == 0
+
+    def test_first_value_counted_from_zero(self):
+        assert delta_sizes([300]) == varint_size(300)
+
+
+@given(st.integers(0, 2**62))
+def test_roundtrip_property(value):
+    data = encode_varint(value)
+    assert len(data) == varint_size(value)
+    assert decode_varint(data)[0] == value

@@ -1,0 +1,118 @@
+"""Tests for the xmlgen work-alike and dataset generators."""
+
+import pytest
+
+from repro.xmark.datasets import (
+    generate_baseball,
+    generate_shakespeare,
+    generate_washington_course,
+)
+from repro.xmark.generator import generate_xmark
+from repro.xmark.text_source import TextSource
+from repro.xmlio.dom import parse
+
+
+class TestTextSource:
+    def test_deterministic(self):
+        assert TextSource(1).sentence() == TextSource(1).sentence()
+
+    def test_seed_changes_output(self):
+        assert TextSource(1).paragraph() != TextSource(2).paragraph()
+
+    def test_zipf_skew(self):
+        words = TextSource(3).words(2000).split()
+        counts = {}
+        for w in words:
+            counts[w] = counts.get(w, 0) + 1
+        # "the" (rank 1) must dominate a tail word.
+        assert counts.get("the", 0) > counts.get("crown", 0)
+
+    def test_email_shape(self):
+        source = TextSource(4)
+        email = source.email("Ada Lovelace")
+        assert email.startswith("ada.lovelace@")
+        assert email.endswith(".example.com")
+
+
+class TestXMarkGenerator:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return parse(generate_xmark(factor=0.02, seed=1))
+
+    def test_well_formed(self, doc):
+        assert doc.root.name == "site"
+
+    def test_top_level_sections(self, doc):
+        names = [e.name for e in doc.root.child_elements()]
+        assert names == ["regions", "categories", "people",
+                         "open_auctions", "closed_auctions"]
+
+    def test_six_regions(self, doc):
+        regions = doc.root.child_elements("regions")[0]
+        assert len(regions.child_elements()) == 6
+
+    def test_people_have_ids_and_names(self, doc):
+        people = doc.root.child_elements("people")[0]
+        persons = people.child_elements("person")
+        assert len(persons) >= 2
+        assert persons[0].attribute("id") == "person0"
+        assert persons[0].child_elements("name")[0].text()
+
+    def test_references_resolve(self, doc):
+        person_ids = {p.attribute("id")
+                      for p in doc.root.descendants("person")}
+        item_ids = {i.attribute("id")
+                    for i in doc.root.descendants("item")}
+        for closed in doc.root.descendants("closed_auction"):
+            buyer = closed.child_elements("buyer")[0]
+            assert buyer.attribute("person") in person_ids
+            itemref = closed.child_elements("itemref")[0]
+            assert itemref.attribute("item") in item_ids
+
+    def test_factor_scales_size(self):
+        small = generate_xmark(factor=0.01, seed=1)
+        large = generate_xmark(factor=0.05, seed=1)
+        assert len(large) > 3 * len(small)
+
+    def test_deterministic(self):
+        assert generate_xmark(0.01, seed=9) == generate_xmark(0.01,
+                                                              seed=9)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            generate_xmark(0)
+
+    def test_factor_one_near_11mb(self):
+        # The paper's XMark11 document is 11.3 MB; sanity-check the
+        # calibration at a smaller factor (linear scaling).
+        text = generate_xmark(factor=0.05, seed=42)
+        estimated_full = len(text) / 0.05
+        assert 6e6 < estimated_full < 20e6
+
+
+class TestDatasetStandIns:
+    def test_shakespeare_prose_heavy(self):
+        doc = parse(generate_shakespeare(factor=0.05))
+        lines = list(doc.root.descendants("line"))
+        assert len(lines) > 50
+        text = lines[0].text()
+        assert len(text.split()) >= 6
+
+    def test_washington_records(self):
+        doc = parse(generate_washington_course(factor=0.01))
+        courses = doc.root.child_elements("course")
+        assert len(courses) >= 5
+        assert courses[0].child_elements("credits")[0].text().isdigit()
+
+    def test_baseball_numeric(self):
+        doc = parse(generate_baseball(factor=0.05))
+        players = list(doc.root.descendants("player"))
+        assert len(players) >= 10
+        hits = players[0].child_elements("hits")[0].text()
+        assert hits.isdigit()
+
+    def test_all_deterministic(self):
+        assert generate_baseball(0.02) == generate_baseball(0.02)
+        assert generate_shakespeare(0.02) == generate_shakespeare(0.02)
+        assert generate_washington_course(0.02) == \
+            generate_washington_course(0.02)

@@ -1,0 +1,67 @@
+"""Tests for the lightweight DOM."""
+
+from repro.xmlio.dom import Attribute, Element, Text, parse
+
+
+class TestParse:
+    def test_structure(self):
+        doc = parse("<site><people><person id='p0'/></people></site>")
+        assert doc.root.name == "site"
+        people = doc.root.child_elements("people")[0]
+        person = people.child_elements("person")[0]
+        assert person.attribute("id") == "p0"
+        assert person.parent is people
+
+    def test_text(self):
+        doc = parse("<a><b>hello</b><b>world</b></a>")
+        assert doc.root.text() == "helloworld"
+
+    def test_mixed_content(self):
+        doc = parse("<a>one<b>two</b>three</a>")
+        kinds = [type(c).__name__ for c in doc.root.children]
+        assert kinds == ["Text", "Element", "Text"]
+
+
+class TestNavigation:
+    def test_descendants_in_document_order(self):
+        doc = parse("<a><b><c/></b><d/></a>")
+        names = [e.name for e in doc.root.descendants()]
+        assert names == ["b", "c", "d"]
+
+    def test_descendants_filtered(self):
+        doc = parse("<a><b/><c><b/></c></a>")
+        assert len(list(doc.root.descendants("b"))) == 2
+
+    def test_iter_elements_includes_root(self):
+        doc = parse("<a><b/></a>")
+        assert [e.name for e in doc.iter_elements()] == ["a", "b"]
+
+    def test_child_elements_skips_text(self):
+        doc = parse("<a>x<b/>y</a>")
+        assert [e.name for e in doc.root.child_elements()] == ["b"]
+
+
+class TestConstruction:
+    def test_append_sets_parent(self):
+        root = Element("a")
+        child = root.append(Element("b"))
+        assert child.parent is root
+
+    def test_set_attribute_replaces(self):
+        el = Element("a")
+        el.set_attribute("x", "1")
+        el.set_attribute("x", "2")
+        assert el.attribute("x") == "2"
+        assert len(el.attributes) == 1
+
+    def test_attribute_missing_is_none(self):
+        assert Element("a").attribute("nope") is None
+
+    def test_text_node(self):
+        el = Element("a", children=[Text("v")])
+        assert el.text() == "v"
+        assert isinstance(el.children[0], Text)
+
+    def test_attribute_nodes(self):
+        el = Element("a", attributes=[Attribute("k", "v")])
+        assert el.attributes[0].parent is el

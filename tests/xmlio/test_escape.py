@@ -1,0 +1,68 @@
+"""Direct tests for entity escaping/unescaping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.escape import (
+    escape_attribute,
+    escape_text,
+    resolve_entity,
+    unescape,
+)
+
+
+class TestEscape:
+    def test_text_escapes_markup(self):
+        assert escape_text("a < b & c > d") == \
+            "a &lt; b &amp; c &gt; d"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == \
+            "say &quot;hi&quot; &amp; &lt;go>"
+
+    def test_no_op_for_plain_text(self):
+        assert escape_text("plain text") == "plain text"
+
+
+class TestResolveEntity:
+    @pytest.mark.parametrize("name,expected", [
+        ("amp", "&"), ("lt", "<"), ("gt", ">"), ("quot", '"'),
+        ("apos", "'"), ("#65", "A"), ("#x41", "A"), ("#X41", "A"),
+        ("#128512", "\U0001F600"),
+    ])
+    def test_known(self, name, expected):
+        assert resolve_entity(name) == expected
+
+    @pytest.mark.parametrize("name", ["nbsp", "#xZZ", "#", "#x",
+                                      "#99999999999"])
+    def test_bad(self, name):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity(name)
+
+
+class TestUnescape:
+    def test_mixed(self):
+        assert unescape("1 &lt; 2 &amp;&amp; x") == "1 < 2 && x"
+
+    def test_numeric(self):
+        assert unescape("&#72;&#105;") == "Hi"
+
+    def test_unterminated(self):
+        with pytest.raises(XMLSyntaxError):
+            unescape("broken &amp")
+
+    def test_no_entities_fast_path(self):
+        text = "nothing here"
+        assert unescape(text) is text
+
+
+@given(st.text(max_size=60))
+def test_text_roundtrip_property(text):
+    assert unescape(escape_text(text)) == text
+
+
+@given(st.text(max_size=60))
+def test_attribute_roundtrip_property(text):
+    assert unescape(escape_attribute(text)) == text

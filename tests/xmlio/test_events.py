@@ -1,0 +1,66 @@
+"""Tests for the event stream and well-formedness enforcement."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    iter_events,
+)
+
+
+class TestEventStream:
+    def test_simple_document(self):
+        events = list(iter_events("<a><b>x</b></a>"))
+        assert events == [
+            StartDocument(),
+            StartElement("a"),
+            StartElement("b"),
+            Characters("x"),
+            EndElement("b"),
+            EndElement("a"),
+            EndDocument(),
+        ]
+
+    def test_empty_tag_produces_both_events(self):
+        events = list(iter_events("<a/>"))
+        assert events[1:3] == [StartElement("a"), EndElement("a")]
+
+    def test_attributes_carried(self):
+        events = list(iter_events('<a id="7"/>'))
+        assert events[1] == StartElement("a", (("id", "7"),))
+
+    def test_whitespace_dropped_by_default(self):
+        events = list(iter_events("<a>\n  <b/>\n</a>"))
+        assert not any(isinstance(e, Characters) for e in events)
+
+    def test_whitespace_kept_on_request(self):
+        events = list(iter_events("<a> <b/> </a>", keep_whitespace=True))
+        assert sum(isinstance(e, Characters) for e in events) == 2
+
+    def test_comments_and_pis_skipped(self):
+        events = list(iter_events('<?xml version="1.0"?><a><!--c--></a>'))
+        assert len(events) == 4  # start doc, start a, end a, end doc
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("text", [
+        "<a><b></a></b>",    # crossing tags
+        "<a>",               # unclosed
+        "</a>",              # end without start
+        "<a/><b/>",          # two roots
+        "text<a/>",          # data before root
+        "",                  # empty input
+        "   ",               # whitespace only
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events(text))
+
+    def test_trailing_whitespace_ok(self):
+        events = list(iter_events("<a/>\n\n"))
+        assert isinstance(events[-1], EndDocument)

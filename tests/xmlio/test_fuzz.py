@@ -1,0 +1,86 @@
+"""Fuzzing the XML layer: malformed input must fail *cleanly*.
+
+The tokenizer/parser may reject garbage (with :class:`XMLSyntaxError`,
+carrying a position) but must never raise anything else or hang —
+the loader is exposed to arbitrary user files.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XMLSyntaxError
+from repro.storage.loader import load_document
+from repro.xmlio.dom import parse
+from repro.xmlio.tokenizer import tokenize
+from repro.xmlio.writer import serialize
+
+_XMLISH = st.text(
+    alphabet=st.sampled_from(list("<>/=\"'& ;abcdeXY01[]!?-\n\t")),
+    max_size=120)
+
+
+@settings(deadline=None, max_examples=300)
+@given(_XMLISH)
+def test_tokenizer_never_crashes(text):
+    try:
+        tokenize(text)
+    except XMLSyntaxError:
+        pass  # rejection is fine; any other exception is a bug
+
+
+@settings(deadline=None, max_examples=200)
+@given(_XMLISH)
+def test_parse_never_crashes(text):
+    try:
+        parse(text)
+    except XMLSyntaxError:
+        pass
+
+
+@settings(deadline=None, max_examples=100)
+@given(_XMLISH)
+def test_loader_never_crashes(text):
+    try:
+        load_document(text)
+    except XMLSyntaxError:
+        pass
+
+
+@settings(deadline=None, max_examples=100)
+@given(st.text(max_size=80))
+def test_arbitrary_unicode_content_roundtrips(payload):
+    """Any text survives escape -> serialize -> parse -> text()."""
+    from repro.xmlio.escape import escape_text
+    document = parse(f"<a>{escape_text(payload)}</a>")
+    if payload.strip():
+        assert document.root.text() == payload
+    reparsed = parse(serialize(document))
+    assert reparsed.root.text() == document.root.text()
+
+
+class TestPathological:
+    def test_deep_nesting(self):
+        depth = 500
+        text = "".join(f"<n{i}>" for i in range(depth)) + "x" + \
+            "".join(f"</n{i}>" for i in reversed(range(depth)))
+        document = parse(text)
+        assert document.root.name == "n0"
+        repo = load_document(text)
+        assert repo.statistics.max_depth == depth
+
+    def test_many_siblings(self):
+        text = "<r>" + "<c/>" * 5000 + "</r>"
+        repo = load_document(text)
+        assert repo.statistics.element_count == 5001
+
+    def test_huge_attribute(self):
+        value = "v" * 50_000
+        repo = load_document(f'<a x="{value}"/>')
+        assert repo.attribute_of(0, "x") == value
+
+    def test_many_distinct_tags(self):
+        text = "<r>" + "".join(f"<t{i}/>" for i in range(300)) + "</r>"
+        repo = load_document(text)
+        assert len(repo.dictionary) == 301
+        assert repo.dictionary.code_bits >= 9

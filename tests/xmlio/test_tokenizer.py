@@ -1,0 +1,90 @@
+"""Tests for the from-scratch XML tokenizer."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.tokenizer import TokenType, tokenize
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        tokens = tokenize("<a>hi</a>")
+        assert [t.type for t in tokens] == [
+            TokenType.START_TAG, TokenType.TEXT, TokenType.END_TAG]
+        assert tokens[0].value == "a"
+        assert tokens[1].value == "hi"
+
+    def test_empty_tag(self):
+        (token,) = tokenize("<a/>")
+        assert token.type == TokenType.EMPTY_TAG
+
+    def test_attributes_in_order(self):
+        (token,) = tokenize('<a x="1" y="2"/>')
+        assert token.attributes == (("x", "1"), ("y", "2"))
+
+    def test_single_quoted_attribute(self):
+        (token,) = tokenize("<a x='v'/>")
+        assert token.attributes == (("x", "v"),)
+
+    def test_attribute_entity_resolved(self):
+        (token,) = tokenize('<a x="a&amp;b"/>')
+        assert token.attributes == (("x", "a&b"),)
+
+    def test_text_entities(self):
+        tokens = tokenize("<a>&lt;x&gt; &#65;&#x42;</a>")
+        assert tokens[1].value == "<x> AB"
+
+    def test_comment(self):
+        tokens = tokenize("<a><!-- note --></a>")
+        assert tokens[1].type == TokenType.COMMENT
+        assert tokens[1].value == " note "
+
+    def test_cdata(self):
+        tokens = tokenize("<a><![CDATA[<raw>&]]></a>")
+        assert tokens[1].type == TokenType.CDATA
+        assert tokens[1].value == "<raw>&"
+
+    def test_pi(self):
+        tokens = tokenize('<?xml version="1.0"?><a/>')
+        assert tokens[0].type == TokenType.PI
+
+    def test_doctype_with_subset(self):
+        tokens = tokenize('<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>')
+        assert tokens[0].type == TokenType.DOCTYPE
+        assert tokens[1].type == TokenType.EMPTY_TAG
+
+    def test_whitespace_in_tags(self):
+        (token,) = tokenize('<a  x = "1"  />')
+        assert token.type == TokenType.EMPTY_TAG
+        assert token.attributes == (("x", "1"),)
+
+    def test_names_with_punctuation(self):
+        tokens = tokenize("<ns:a-b.c_1/>")
+        assert tokens[0].value == "ns:a-b.c_1"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "<a x=1/>",            # unquoted attribute
+        "<a x/>",              # attribute without value
+        '<a x="1>',            # unterminated value
+        "<!-- never closed",
+        "<![CDATA[ never closed",
+        "<a",                  # unterminated tag
+        "</a",                 # malformed end tag
+        "<1abc/>",             # bad name start
+        '<a x="a<b"/>',        # '<' inside attribute value
+        '<a x="1" x="2"/>',    # duplicate attribute
+        "<a>&unknown;</a>",    # unknown entity
+        "<a>&amp</a>",         # unterminated entity
+        "<?pi never closed",
+        "<!DOCTYPE unclosed",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(XMLSyntaxError):
+            tokenize(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            tokenize("<a>\n<b x=1/></a>")
+        assert excinfo.value.line == 2

@@ -1,0 +1,70 @@
+"""Serializer tests, including parse/serialize round-trips."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xmlio.dom import parse
+from repro.xmlio.writer import serialize
+
+
+class TestSerialize:
+    def test_simple(self):
+        doc = parse("<a><b>x</b></a>")
+        assert serialize(doc) == "<a><b>x</b></a>"
+
+    def test_empty_element_collapsed(self):
+        assert serialize(parse("<a></a>")) == "<a/>"
+
+    def test_attributes(self):
+        out = serialize(parse('<a x="1" y="two"/>'))
+        assert out == '<a x="1" y="two"/>'
+
+    def test_escaping(self):
+        doc = parse("<a>&lt;&amp;&gt;</a>")
+        out = serialize(doc)
+        assert out == "<a>&lt;&amp;&gt;</a>"
+        assert serialize(parse(out)) == out
+
+    def test_attribute_escaping(self):
+        doc = parse('<a x="&quot;&amp;"/>')
+        reparsed = parse(serialize(doc))
+        assert reparsed.root.attribute("x") == '"&'
+
+    def test_pretty_print(self):
+        out = serialize(parse("<a><b>x</b></a>"), indent="  ")
+        assert out == "<a>\n  <b>x</b>\n</a>\n"
+
+
+_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=300),
+    min_size=1, max_size=20).filter(lambda s: s.strip())
+
+_name = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+
+
+@st.composite
+def _xml_tree(draw, depth=0):
+    name = draw(_name)
+    attrs = draw(st.dictionaries(_name, _text, max_size=2))
+    attr_text = "".join(
+        f' {k}="{v.replace("&", "&amp;").replace("<", "&lt;").replace(chr(34), "&quot;")}"'
+        for k, v in attrs.items())
+    if depth >= 2:
+        children = []
+    else:
+        children = draw(st.lists(_xml_tree(depth=depth + 1), max_size=2))
+    text = draw(_text | st.none())
+    inner = "".join(children)
+    if text is not None:
+        escaped = (text.replace("&", "&amp;").replace("<", "&lt;")
+                       .replace(">", "&gt;"))
+        inner = escaped + inner
+    return f"<{name}{attr_text}>{inner}</{name}>"
+
+
+@given(_xml_tree())
+def test_roundtrip_stable(xml_text):
+    """serialize(parse(x)) is a fixpoint after one normalization pass."""
+    once = serialize(parse(xml_text))
+    twice = serialize(parse(once))
+    assert once == twice
