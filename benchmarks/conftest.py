@@ -41,3 +41,26 @@ def xquec_default(xmark_text) -> XQueCSystem:
 @pytest.fixture(scope="session")
 def galax_engine(xmark_text) -> GalaxEngine:
     return GalaxEngine(xmark_text)
+
+
+@pytest.fixture
+def telemetry_sink(request):
+    """A per-bench telemetry collector that persists what it is fed.
+
+    A bench calls ``telemetry_sink(telemetry)`` (optionally with an
+    explicit ``experiment=`` name) for each instrumented run it wants
+    attached to its result files; every document is written to
+    ``benchmarks/results/<experiment>.telemetry.json`` at teardown.
+    """
+    from repro.bench.reporting import record_telemetry
+
+    collected: list[tuple[str, object]] = []
+    default_name = request.node.name.replace("[", ".").rstrip("]")
+
+    def sink(telemetry, experiment: str | None = None):
+        collected.append((experiment or default_name, telemetry))
+        return telemetry
+
+    yield sink
+    for name, telemetry in collected:
+        record_telemetry(name, telemetry)

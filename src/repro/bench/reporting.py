@@ -43,6 +43,21 @@ def record_result(experiment: str, text: str) -> None:
     path.write_text(text + "\n", encoding="utf-8")
 
 
+def record_telemetry(experiment: str, telemetry) -> Path:
+    """Persist a run's telemetry JSON next to the experiment table.
+
+    ``telemetry`` is a :class:`repro.obs.telemetry.Telemetry`; the
+    document lands at ``benchmarks/results/<experiment>.telemetry.json``
+    so a figure's numbers can always be traced back to the operator
+    counts that produced them.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.telemetry.json"
+    path.write_text(telemetry.to_json(indent=2) + "\n",
+                    encoding="utf-8")
+    return path
+
+
 def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"

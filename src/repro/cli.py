@@ -5,6 +5,7 @@ Commands mirror how the paper's system is used:
 * ``compress``   — XML file -> compressed repository (``.xqc``),
   optionally workload-driven (one query per line in a file);
 * ``query``      — evaluate an XQuery over a repository;
+* ``trace``      — run a query and emit its telemetry JSON;
 * ``stats``      — storage occupancy breakdown of a repository;
 * ``decompress`` — reconstruct the XML document from a repository;
 * ``xmlgen``     — generate an XMark auction document.
@@ -18,6 +19,9 @@ from pathlib import Path
 
 from repro.core.system import XQueCSystem
 from repro.errors import XQueCError
+from repro.obs import runtime
+from repro.obs.telemetry import Telemetry
+from repro.query.analyze import explain_analyze
 from repro.query.context import EvaluationStats
 from repro.query.engine import QueryEngine
 from repro.storage.loader import load_document
@@ -50,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print evaluation statistics")
     query.add_argument("--explain", action="store_true",
                        help="print the evaluation strategy first")
+    query.add_argument("--analyze", action="store_true",
+                       help="run with telemetry and print the plan "
+                            "annotated with actual counts and timings")
+
+    trace = commands.add_parser(
+        "trace", help="run a query and emit its telemetry JSON")
+    trace.add_argument("repository", type=Path)
+    trace.add_argument("xquery", help="the query text")
+    trace.add_argument("--output", type=Path, default=None,
+                       help="write JSON here (stdout if omitted)")
+    trace.add_argument("--indent", type=int, default=2,
+                       help="JSON indentation (default 2)")
 
     stats = commands.add_parser(
         "stats", help="storage occupancy breakdown")
@@ -77,6 +93,7 @@ def main(argv: list[str] | None = None,
     commands = {
         "compress": _cmd_compress,
         "query": _cmd_query,
+        "trace": _cmd_trace,
         "stats": _cmd_stats,
         "decompress": _cmd_decompress,
         "xmlgen": _cmd_xmlgen,
@@ -114,6 +131,12 @@ def _cmd_compress(args, out) -> int:
 def _cmd_query(args, out) -> int:
     repository = load_repository(args.repository)
     engine = QueryEngine(repository)
+    if args.analyze:
+        report = explain_analyze(args.xquery, engine)
+        for line in report.text.splitlines():
+            print(f"# {line}" if line else "#", file=out)
+        print(report.result.to_xml(), file=out)
+        return 0
     if args.explain:
         print("# plan:", file=out)
         for line in engine.explain(args.xquery).splitlines():
@@ -132,6 +155,23 @@ def _cmd_query(args, out) -> int:
               file=out)
         print(f"# hash joins:             {stats.hash_joins}",
               file=out)
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    repository = load_repository(args.repository)
+    engine = QueryEngine(repository)
+    telemetry = Telemetry(enabled=True)
+    with runtime.activated(telemetry):
+        with telemetry.span("Query", query=args.xquery):
+            result = engine.execute(args.xquery, telemetry=telemetry)
+            result.items  # force the final Decompress step
+    text = telemetry.to_json(indent=args.indent or None)
+    if args.output is not None:
+        args.output.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote telemetry to {args.output}", file=out)
+    else:
+        print(text, file=out)
     return 0
 
 
@@ -157,7 +197,53 @@ def _cmd_stats(args, out) -> int:
           f"{len(repository.containers()):>12}", file=out)
     print(f"{'nodes'.ljust(width)}  "
           f"{len(repository.structure):>12}", file=out)
+    _print_container_table(repository, out)
     return 0
+
+
+def _print_container_table(repository, out) -> None:
+    """Per-container codec/size table plus per-codec decode totals.
+
+    Sizing a container's plain text decodes every value, so the scan
+    runs under an active telemetry; the codec totals printed afterwards
+    come from the registry those decodes populated.
+    """
+    telemetry = Telemetry(enabled=True)
+    table = []
+    with runtime.activated(telemetry):
+        for container in repository.containers():
+            compressed = container.data_size_bytes()
+            plain = container.uncompressed_size_bytes()
+            ratio = f"{compressed / plain:.3f}" if plain else "n/a"
+            table.append((container.path, container.codec.name,
+                          str(len(container)), str(compressed),
+                          str(plain), ratio))
+    headers = ("container", "codec", "records", "compressed_B",
+               "plain_B", "ratio")
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print(file=out)
+    print("-- containers --", file=out)
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+          file=out)
+    for row in table:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)),
+              file=out)
+    counters = telemetry.metrics.counters()
+    codec_names = sorted({name.split(".")[1] for name in counters
+                          if name.startswith("codec.")})
+    if codec_names:
+        print(file=out)
+        print("-- codec totals (from registry) --", file=out)
+        for codec in codec_names:
+            calls = counters.get(f"codec.{codec}.decode.calls", 0)
+            packed = counters.get(
+                f"codec.{codec}.decode.compressed_bytes", 0)
+            plain = counters.get(f"codec.{codec}.decode.plain_chars", 0)
+            print(f"{codec}: {calls} decodes, {packed} B compressed "
+                  f"-> {plain} chars", file=out)
 
 
 def _cmd_decompress(args, out) -> int:

@@ -38,6 +38,7 @@ from repro.compression.alphabetic import (
 from repro.compression.base import Codec, CodecProperties, CompressedValue
 from repro.compression.fastdecode import PrefixDecoder
 from repro.errors import CodecDomainError
+from repro.obs import runtime
 from repro.util.bits import BitWriter
 
 #: default cap on multi-character dictionary tokens.
@@ -302,10 +303,19 @@ class ALMCodec(Codec):
         for symbol_id in self._segment(value):
             code, length = codes[symbol_id]
             writer.write_bits(code, length)
-        return CompressedValue(writer.getvalue(), writer.bit_length)
+        compressed = CompressedValue(writer.getvalue(),
+                                     writer.bit_length)
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("encode", self.name,
+                                 compressed.nbytes, len(value))
+        return compressed
 
     def decode(self, compressed: CompressedValue) -> str:
-        return "".join(self._decoder.decode(compressed))
+        value = "".join(self._decoder.decode(compressed))
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("decode", self.name,
+                                 compressed.nbytes, len(value))
+        return value
 
     # -- introspection ----------------------------------------------------
 

@@ -18,6 +18,7 @@ from collections.abc import Iterable
 
 from repro.compression.base import Codec, CodecProperties, CompressedValue
 from repro.errors import CodecDomainError, CorruptDataError
+from repro.obs import runtime
 from repro.util.bits import BitReader, BitWriter
 
 _STATE_BITS = 32
@@ -105,7 +106,12 @@ class ArithmeticCodec(Codec):
             emit(0)
         else:
             emit(1)
-        return CompressedValue(writer.getvalue(), writer.bit_length)
+        compressed = CompressedValue(writer.getvalue(),
+                                     writer.bit_length)
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("encode", self.name,
+                                 compressed.nbytes, len(value))
+        return compressed
 
     def decode(self, compressed: CompressedValue) -> str:
         cum = self._cum
@@ -141,7 +147,11 @@ class ArithmeticCodec(Codec):
             high = low + span * cum[lo + 1] // total - 1
             low = low + span * cum[lo] // total
             if symbol == _EOS:
-                return "".join(out)
+                value = "".join(out)
+                if runtime.ACTIVE is not None:
+                    runtime.record_codec("decode", self.name,
+                                         compressed.nbytes, len(value))
+                return value
             out.append(symbol)
             while True:
                 if high < _HALF:

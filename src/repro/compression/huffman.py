@@ -19,6 +19,7 @@ from collections.abc import Iterable
 
 from repro.compression.base import Codec, CodecProperties, CompressedValue
 from repro.errors import CodecDomainError
+from repro.obs import runtime
 from repro.util.bits import BitWriter
 
 
@@ -107,10 +108,19 @@ class HuffmanCodec(Codec):
                 raise CodecDomainError(
                     f"character {ch!r} absent from Huffman source model")
             writer.write_bits(entry[0], entry[1])
-        return CompressedValue(writer.getvalue(), writer.bit_length)
+        compressed = CompressedValue(writer.getvalue(),
+                                     writer.bit_length)
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("encode", self.name,
+                                 compressed.nbytes, len(value))
+        return compressed
 
     def decode(self, compressed: CompressedValue) -> str:
-        return "".join(self._decoder.decode(compressed))
+        value = "".join(self._decoder.decode(compressed))
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("decode", self.name,
+                                 compressed.nbytes, len(value))
+        return value
 
     def model_size_bytes(self) -> int:
         # Canonical model: one (UTF-8 symbol, 1-byte length) pair each.

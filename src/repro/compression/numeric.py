@@ -19,6 +19,7 @@ from collections.abc import Iterable
 
 from repro.compression.base import Codec, CodecProperties, CompressedValue
 from repro.errors import CodecDomainError, CorruptDataError
+from repro.obs import runtime
 
 
 def is_canonical_int(text: str) -> bool:
@@ -84,13 +85,20 @@ class IntegerCodec(Codec):
                 f"{number} outside trained range "
                 f"[{self._minimum}, {self._maximum}]")
         data = (number - self._minimum).to_bytes(self._width, "big")
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("encode", self.name, self._width,
+                                 len(value))
         return CompressedValue(data, self._width * 8)
 
     def decode(self, compressed: CompressedValue) -> str:
         if compressed.bits != self._width * 8:
             raise CorruptDataError(
                 f"expected {self._width * 8} bits, got {compressed.bits}")
-        return str(int.from_bytes(compressed.data, "big") + self._minimum)
+        value = str(int.from_bytes(compressed.data, "big") + self._minimum)
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("decode", self.name,
+                                 compressed.nbytes, len(value))
+        return value
 
     def model_size_bytes(self) -> int:
         return 9  # 8-byte minimum + 1-byte width
@@ -121,6 +129,9 @@ class FloatCodec(Codec):
             bits ^= 0xFFFFFFFFFFFFFFFF  # negative: flip everything
         else:
             bits ^= 1 << 63  # positive: flip sign bit only
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("encode", self.name, self._WIDTH,
+                                 len(value))
         return CompressedValue(bits.to_bytes(8, "big"), 64)
 
     def decode(self, compressed: CompressedValue) -> str:
@@ -132,7 +143,11 @@ class FloatCodec(Codec):
             bits ^= 1 << 63
         else:
             bits ^= 0xFFFFFFFFFFFFFFFF
-        return repr(struct.unpack(">d", struct.pack(">Q", bits))[0])
+        value = repr(struct.unpack(">d", struct.pack(">Q", bits))[0])
+        if runtime.ACTIVE is not None:
+            runtime.record_codec("decode", self.name,
+                                 compressed.nbytes, len(value))
+        return value
 
     def model_size_bytes(self) -> int:
         return 0

@@ -133,13 +133,22 @@ class XQueCSystem:
 
     # -- querying --------------------------------------------------------------
 
-    def query(self, query_text: str | Expression) -> QueryResult:
-        """Evaluate a query over the compressed repository."""
-        return self._engine.execute(query_text)
+    def query(self, query_text: str | Expression,
+              telemetry=None) -> QueryResult:
+        """Evaluate a query over the compressed repository.
+
+        Pass a :class:`repro.obs.telemetry.Telemetry` to capture the
+        run's spans and counters.
+        """
+        return self._engine.execute(query_text, telemetry=telemetry)
 
     def explain(self, query_text: str | Expression) -> str:
         """Describe the evaluation strategy without running the query."""
         return self._engine.explain(query_text)
+
+    def explain_analyze(self, query_text: str | Expression) -> str:
+        """Run the query and render the plan with actual counts."""
+        return self._engine.explain_analyze(query_text)
 
     def build_fulltext_index(self, container_path: str):
         """Register a §6 full-text index on one container."""

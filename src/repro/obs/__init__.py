@@ -1,0 +1,36 @@
+"""Engine-wide observability: tracing, metrics, telemetry export.
+
+A zero-dependency layer threaded through storage, compression and the
+query engine so that the paper's central claim — predicates run in the
+compressed domain, decompression is deferred to serialization — is
+*measurable* per operator instead of asserted:
+
+* :class:`~repro.obs.tracer.Tracer` — hierarchical wall-clock spans
+  (``perf_counter_ns``) naming the paper's physical operators
+  (Figure 4 access paths); a disabled tracer hands out one shared
+  no-op span, so the hot path pays ~nothing;
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters and
+  p50/p95/max histograms; :class:`repro.query.context.EvaluationStats`
+  is now a thin view over one of these;
+* :class:`~repro.obs.telemetry.Telemetry` — one tracer + one registry
+  per query run, JSON-exportable (``to_json``) for benchmark reports
+  and the ``repro trace`` CLI;
+* :mod:`~repro.obs.runtime` — the module-level activation point the
+  storage and compression layers check (one global load + ``is None``
+  test when telemetry is off) to report codec encode/decode calls,
+  B+-tree page reads and container accesses without threading a
+  handle through every signature.
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]

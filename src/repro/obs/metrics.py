@@ -1,0 +1,131 @@
+"""Named counters and histograms, replacing ad-hoc counting.
+
+A :class:`MetricsRegistry` is the per-run source of truth for every
+operator counter the engine keeps.  Counters are plain mutable cells so
+the long-standing ``stats.decompressions += 1`` idiom stays a couple of
+attribute accesses; histograms capture per-operator wall times and
+report p50/p95/max.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A named, monotonically adjustable integer cell."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """A named distribution with p50/p95/max summaries.
+
+    Every observation is kept (queries observe at operator granularity,
+    so populations stay small); ``summary()`` sorts on demand.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]); 0.0 if empty."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """count/total/p50/p95/max as a plain dict (JSON-ready)."""
+        if not self.values:
+            return {"count": 0, "total": 0.0, "p50": 0.0,
+                    "p95": 0.0, "max": 0.0}
+        ordered = sorted(self.values)
+        last = len(ordered) - 1
+        return {
+            "count": len(ordered),
+            "total": sum(ordered),
+            "p50": ordered[round(0.50 * last)],
+            "p95": ordered[round(0.95 * last)],
+            "max": ordered[-1],
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={len(self.values)}>"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters and histograms."""
+
+    __slots__ = ("_counters", "_histograms")
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at 0 on first use."""
+        cell = self._counters.get(name)
+        if cell is None:
+            cell = Counter(name)
+            self._counters[name] = cell
+        return cell
+
+    def add(self, name: str, n: int = 1) -> None:
+        """Increment the counter called ``name`` by ``n``."""
+        self.counter(name).add(n)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created empty on first use."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram(name)
+            self._histograms[name] = hist
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def counters(self) -> dict[str, int]:
+        """All counter values, by name (zero-valued ones included)."""
+        return {name: cell.value
+                for name, cell in sorted(self._counters.items())}
+
+    def histograms(self) -> dict[str, dict]:
+        """All histogram summaries, by name."""
+        return {name: hist.summary()
+                for name, hist in sorted(self._histograms.items())}
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every metric."""
+        return {"counters": self.counters(),
+                "histograms": self.histograms()}
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry {len(self._counters)} counters, "
+                f"{len(self._histograms)} histograms>")

@@ -1,0 +1,161 @@
+"""``EXPLAIN ANALYZE``: the static plan annotated with what really ran.
+
+:func:`explain_analyze` executes the query with telemetry enabled,
+then re-renders the :func:`repro.query.explain.explain` sketch with the
+*actual* per-operator counts and wall times, followed by the full
+operator/counter profile and the compressed-vs-decompressed ratios
+that quantify the paper's §5–6 claim (predicates run compressed,
+decompression is deferred to serialization).
+
+Plan-line annotations carry the run's aggregate for that operator
+class — the counters shown are exactly the
+:class:`~repro.query.context.EvaluationStats` totals of the same run
+(they share one :class:`~repro.obs.metrics.MetricsRegistry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs import runtime
+from repro.obs.telemetry import Telemetry
+from repro.query.ast import Expression
+from repro.query.explain import explain
+from repro.storage.repository import CompressedRepository
+
+
+@dataclass
+class AnalyzeReport:
+    """The rendered report plus the run it describes."""
+
+    text: str
+    result: "QueryResult"
+    telemetry: Telemetry
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The run's telemetry document as JSON."""
+        return self.telemetry.to_json(indent=indent)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+#: plan-line keyword -> (EvaluationStats counter, span histogram name).
+_LINE_METRICS = (
+    ("ContAccess interval", "container_accesses", "span.ContAccess"),
+    ("FullTextIndex lookup", "container_accesses",
+     "span.FullTextAccess"),
+    ("HashJoin", "hash_joins", "span.HashJoin.build"),
+    ("StructureSummaryAccess", "summary_accesses",
+     "span.StructureSummaryAccess"),
+)
+
+
+def explain_analyze(query: str | Expression, target) -> AnalyzeReport:
+    """Run ``query`` against ``target`` and render plan + actuals.
+
+    ``target`` is a :class:`~repro.query.engine.QueryEngine` or a bare
+    :class:`~repro.storage.repository.CompressedRepository`.  The query
+    runs to full materialization, so the report includes the final
+    Decompress step the paper defers to serialization.
+    """
+    from repro.query.engine import QueryEngine
+    engine = target if isinstance(target, QueryEngine) \
+        else QueryEngine(target)
+    telemetry = Telemetry(enabled=True)
+    with runtime.activated(telemetry):
+        result = engine.execute(query, telemetry=telemetry)
+        items = result.items  # force the Decompress step under telemetry
+    sketch = explain(query)
+    text = _render(sketch, result, telemetry, len(items))
+    return AnalyzeReport(text, result, telemetry)
+
+
+def _render(sketch: str, result, telemetry: Telemetry,
+            item_count: int) -> str:
+    metrics = telemetry.metrics
+    # A summaries snapshot, so lookups never create empty histograms.
+    histograms = metrics.histograms()
+    wall_ns = int(histograms.get("span.Execute", {}).get("total", 0))
+    lines = [f"EXPLAIN ANALYZE  (wall {wall_ns} ns, "
+             f"{item_count} items)"]
+    for line in sketch.splitlines():
+        lines.append(_annotate(line, result.stats, histograms))
+    lines.append("")
+    lines.extend(_operator_table(telemetry))
+    lines.append("")
+    lines.extend(_counter_section(result.stats))
+    lines.append("")
+    lines.extend(_compression_section(result.stats, metrics))
+    return "\n".join(lines)
+
+
+def _annotate(line: str, stats, histograms: dict) -> str:
+    for keyword, counter_name, span_name in _LINE_METRICS:
+        if keyword in line:
+            count = getattr(stats, counter_name)
+            total_ns = int(histograms.get(span_name,
+                                          {}).get("total", 0))
+            return (f"{line}  [actual {counter_name}={count}, "
+                    f"{total_ns} ns]")
+    return line
+
+
+def _operator_table(telemetry: Telemetry) -> list[str]:
+    profile = telemetry.operator_profile()
+    if not profile:
+        return ["-- operators: none traced --"]
+    headers = ("operator", "calls", "total_ns", "p50_ns", "p95_ns",
+               "max_ns")
+    rows = [(name, s["count"], int(s["total"]), int(s["p50"]),
+             int(s["p95"]), int(s["max"]))
+            for name, s in sorted(profile.items())]
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = ["-- operators --"]
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return out
+
+
+def _counter_section(stats) -> list[str]:
+    out = ["-- counters (== QueryResult.stats) --"]
+    width = max(len(name) for name in stats.FIELDS)
+    for name in stats.FIELDS:
+        out.append(f"{name.ljust(width)}  {getattr(stats, name)}")
+    return out
+
+
+def _compression_section(stats, metrics) -> list[str]:
+    out = ["-- compressed vs decompressed --"]
+    comparisons = stats.compressed_comparisons \
+        + stats.decompressed_comparisons
+    if comparisons:
+        share = 100.0 * stats.compressed_comparisons / comparisons
+        out.append(f"comparisons: {stats.compressed_comparisons} "
+                   f"compressed / {stats.decompressed_comparisons} "
+                   f"decompressed ({share:.1f}% stayed compressed)")
+    else:
+        out.append("comparisons: none")
+    counters = metrics.counters()
+    codec_names = sorted({name.split(".")[1] for name in counters
+                          if name.startswith("codec.")})
+    for codec in codec_names:
+        for op in ("encode", "decode"):
+            calls = counters.get(f"codec.{codec}.{op}.calls", 0)
+            if not calls:
+                continue
+            packed = counters.get(
+                f"codec.{codec}.{op}.compressed_bytes", 0)
+            plain = counters.get(f"codec.{codec}.{op}.plain_chars", 0)
+            ratio = f"{packed / plain:.2f}" if plain else "n/a"
+            out.append(f"codec {codec}: {op} {calls} calls, "
+                       f"{packed} B compressed <-> {plain} chars "
+                       f"(ratio {ratio})")
+    if len(out) == 2 and not codec_names:
+        out.append("codecs: no encode/decode activity recorded")
+    return out

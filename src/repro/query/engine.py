@@ -22,6 +22,8 @@ compressed for as long as possible:
 from __future__ import annotations
 
 from repro.errors import QueryError
+from repro.obs import runtime
+from repro.obs.telemetry import Telemetry
 from repro.query.ast import (
     Arithmetic,
     Comparison,
@@ -69,16 +71,24 @@ class QueryResult:
     """The evaluated sequence plus serialization and statistics."""
 
     def __init__(self, items: list, stats: EvaluationStats,
-                 engine: "QueryEngine"):
+                 engine: "QueryEngine",
+                 telemetry: Telemetry | None = None):
         self._raw_items = items
         self.stats = stats
         self._engine = engine
+        #: the run's tracer + metrics (disabled unless requested).
+        self.telemetry = telemetry if telemetry is not None \
+            else Telemetry(enabled=False, metrics=stats.registry)
 
     @property
     def items(self) -> list:
         """Fully decompressed result items (str/float/bool/Element)."""
-        return [self._engine.materialize_item(item, self.stats)
-                for item in self._raw_items]
+        # Materialization is the final Decompress step; keep it under
+        # the run's telemetry so codec activity lands in one registry.
+        with runtime.activated(self.telemetry):
+            with self.telemetry.span("Decompress"):
+                return [self._engine.materialize_item(item, self.stats)
+                        for item in self._raw_items]
 
     def values(self) -> list:
         """Items with Elements serialized to XML strings."""
@@ -123,9 +133,12 @@ class QueryEngine:
 
     def __init__(self, repository: CompressedRepository,
                  collection: dict[str, CompressedRepository]
-                 | None = None):
+                 | None = None, telemetry_enabled: bool = False):
         self.repository = repository
         self.collection = collection or {}
+        #: when True, every ``execute`` records spans and histograms;
+        #: counters are always kept (they back ``QueryResult.stats``).
+        self.telemetry_enabled = telemetry_enabled
         self._fulltext_indexes: dict[str, "FullTextIndex"] = {}
 
     def repository_of(self, doc: str | None) -> CompressedRepository:
@@ -146,18 +159,43 @@ class QueryEngine:
         self._fulltext_indexes[container_path] = index
         return index
 
-    def execute(self, query: str | Expression) -> QueryResult:
-        """Parse (if needed) and evaluate a query."""
+    def execute(self, query: str | Expression,
+                telemetry: Telemetry | None = None) -> QueryResult:
+        """Parse (if needed) and evaluate a query.
+
+        Pass an enabled :class:`~repro.obs.telemetry.Telemetry` (or set
+        ``telemetry_enabled`` on the engine) to record spans, operator
+        histograms and codec/storage activity for the run.
+        """
         ast = parse_query(query) if isinstance(query, str) else query
+        if telemetry is None:
+            telemetry = Telemetry(enabled=self.telemetry_enabled)
         evaluator = _Evaluator(self.repository, self._fulltext_indexes,
-                               self.collection)
-        items = evaluator.eval(ast, {})
-        return QueryResult(items, evaluator.stats, self)
+                               self.collection, telemetry=telemetry)
+        if not telemetry.enabled:
+            items = evaluator.eval(ast, {})
+        else:
+            query_text = query if isinstance(query, str) else \
+                type(ast).__name__
+            with runtime.activated(telemetry):
+                with telemetry.span("Execute", query=query_text):
+                    items = evaluator.eval(ast, {})
+        return QueryResult(items, evaluator.stats, self,
+                           telemetry=telemetry)
 
     def explain(self, query: str | Expression) -> str:
         """Describe the evaluation strategy without running the query."""
         from repro.query.explain import explain
         return explain(query)
+
+    def explain_analyze(self, query: str | Expression) -> str:
+        """Run the query and render the plan with actual counts/timings.
+
+        See :func:`repro.query.analyze.explain_analyze`; use that
+        directly to also get the :class:`QueryResult` and telemetry.
+        """
+        from repro.query.analyze import explain_analyze
+        return explain_analyze(query, self).text
 
     # -- result materialization ------------------------------------------------
 
@@ -198,11 +236,15 @@ class _Evaluator:
     def __init__(self, repository: CompressedRepository,
                  fulltext_indexes: dict | None = None,
                  collection: dict[str, CompressedRepository]
-                 | None = None):
+                 | None = None, telemetry: Telemetry | None = None):
         self.repository = repository
         self._collection = collection or {}
         self._fulltext_indexes = fulltext_indexes or {}
-        self.stats = EvaluationStats()
+        self.telemetry = telemetry if telemetry is not None \
+            else Telemetry(enabled=False)
+        # The stats view and the telemetry share one registry, so
+        # explain_analyze's rendered counters are EvaluationStats'.
+        self.stats = EvaluationStats(registry=self.telemetry.metrics)
         #: cached sequences for binding-independent source expressions.
         self._source_cache: dict[int, list] = {}
         #: cached hash-join build indexes, keyed by conjunct identity.
@@ -452,6 +494,17 @@ class _Evaluator:
         from repro.query.optimizer import is_absolute_simple_path
         if not is_absolute_simple_path(source):
             return None
+        if not self.telemetry.enabled:
+            return self._range_access_inner(source, plan, env)
+        with self.telemetry.span("ContAccess", low=plan.low,
+                                 high=plan.high) as span:
+            items = self._range_access_inner(source, plan, env)
+            span.set_attribute("rows", len(items)
+                               if items is not None else "fallback")
+            return items
+
+    def _range_access_inner(self, source: Expression, plan,
+                            env) -> list | None:
         assert isinstance(source, PathExpr)
         repo = self._repo(source.document)
         summary_steps = [_summary_step(s) for s in source.steps] + \
@@ -508,6 +561,17 @@ class _Evaluator:
         from repro.query.optimizer import is_absolute_simple_path
         if not is_absolute_simple_path(source):
             return None
+        if not self.telemetry.enabled:
+            return self._fulltext_access_inner(source, plan)
+        with self.telemetry.span("FullTextAccess",
+                                 words=sorted(plan.words)) as span:
+            items = self._fulltext_access_inner(source, plan)
+            span.set_attribute("rows", len(items)
+                               if items is not None else "fallback")
+            return items
+
+    def _fulltext_access_inner(self, source: Expression,
+                               plan) -> list | None:
         assert isinstance(source, PathExpr)
         if source.document is not None:
             return None  # indexes are registered on the default document
@@ -545,10 +609,13 @@ class _Evaluator:
         if index is None:
             index = _JoinIndex()
             self.stats.hash_joins += 1
-            for item in items:
-                child_env = {clause.var: [item]}
-                for key in self._key_strings(plan.build_expr, child_env):
-                    index.add(key, item)
+            with self.telemetry.span("HashJoin.build",
+                                     rows=len(items)):
+                for item in items:
+                    child_env = {clause.var: [item]}
+                    for key in self._key_strings(plan.build_expr,
+                                                 child_env):
+                        index.add(key, item)
             self._index_cache[cache_key] = index
         return index
 
@@ -581,8 +648,10 @@ class _Evaluator:
         if prefix:
             self.stats.summary_accesses += 1
             summary_steps = [(s.axis, s.test) for s in prefix]
-            nodes = repo.resolve_path(summary_steps)
-            ids = sorted({i for n in nodes for i in n.extent})
+            with self.telemetry.span("StructureSummaryAccess") as span:
+                nodes = repo.resolve_path(summary_steps)
+                ids = sorted({i for n in nodes for i in n.extent})
+                span.set_attribute("rows", len(ids))
             context: list = [NodeItem(i, expr.document) for i in ids]
         else:
             context = self._document_step(steps.pop(0), env,

@@ -21,17 +21,55 @@ plans use :class:`MergeJoin` without sorting.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from time import perf_counter_ns
 
+from repro.obs import runtime
 from repro.query.context import CompressedItem, EvaluationStats, NodeItem
 from repro.storage.repository import CompressedRepository
 
 Row = dict
 
 
+def _traced(name: str, rows: Iterator[Row]) -> Iterator[Row]:
+    """Wrap an operator's row stream with telemetry when active.
+
+    Observes one ``span.<name>`` histogram entry for the full
+    iteration's wall time and counts rows in ``op.<name>.rows``; with
+    no active telemetry the stream is returned untouched, so the
+    disabled-mode cost is one global load and an ``is None`` test.
+    """
+    telemetry = runtime.ACTIVE
+    if telemetry is None:
+        return rows
+    return _traced_rows(name, rows, telemetry)
+
+
+def _traced_rows(name: str, rows: Iterator[Row], telemetry
+                 ) -> Iterator[Row]:
+    metrics = telemetry.metrics
+    count = 0
+    start = perf_counter_ns()
+    try:
+        for row in rows:
+            count += 1
+            yield row
+    finally:
+        metrics.observe(f"span.{name}", perf_counter_ns() - start)
+        metrics.add(f"op.{name}.rows", count)
+
+
 class Operator:
-    """Base class: an iterable of rows."""
+    """Base class: an iterable of rows.
+
+    ``__iter__`` routes through :func:`_traced` using the class name,
+    so every physical operator reports rows and wall time whenever a
+    telemetry run is active; subclasses implement ``_rows``.
+    """
 
     def __iter__(self) -> Iterator[Row]:
+        return _traced(type(self).__name__, self._rows())
+
+    def _rows(self) -> Iterator[Row]:
         raise NotImplementedError
 
     def rows(self) -> list[Row]:
@@ -52,7 +90,7 @@ class ContScan(Operator):
         self._value_column = value_column
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
             self._stats.container_scans += 1
         container = self._container
@@ -78,7 +116,7 @@ class ContAccess(Operator):
         self._interval = (low, high, low_inclusive, high_inclusive)
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
             self._stats.container_accesses += 1
         container = self._container
@@ -103,7 +141,7 @@ class StructureSummaryAccess(Operator):
         self._column = column
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
             self._stats.summary_accesses += 1
         merged: set[int] = set()
@@ -132,7 +170,7 @@ class Child(Operator):
         self._tag = tag
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         structure = self._repository.structure
         tag_code = (None if self._tag is None
                     else self._repository.dictionary.code_of(self._tag))
@@ -159,7 +197,7 @@ class Parent(Operator):
         self._output = output_column
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         structure = self._repository.structure
         for row in self._source:
             node = row[self._input]
@@ -186,7 +224,7 @@ class Descendant(Operator):
         self._tag = tag
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         structure = self._repository.structure
         tag_code = (None if self._tag is None
                     else self._repository.dictionary.code_of(self._tag))
@@ -220,7 +258,7 @@ class TextContent(Operator):
         self._container_path = container_path
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         container = self._repository.container(self._container_path)
         if self._stats is not None:
             self._stats.container_scans += 1
@@ -248,7 +286,7 @@ class AttributeContent(Operator):
         self._inner = TextContent(source, repository, input_column,
                                   output_column, container_path, stats)
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         return iter(self._inner)
 
 
@@ -261,7 +299,7 @@ class Select(Operator):
         self._source = source
         self._predicate = predicate
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         predicate = self._predicate
         for row in self._source:
             if predicate(row):
@@ -275,7 +313,7 @@ class Project(Operator):
         self._source = source
         self._columns = columns
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         columns = self._columns
         for row in self._source:
             yield {c: row[c] for c in columns}
@@ -293,7 +331,7 @@ class HashJoin(Operator):
         self._right_key = right_key
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
             self._stats.hash_joins += 1
         index: dict = {}
@@ -318,7 +356,7 @@ class MergeJoin(Operator):
         self._left_key = left_key
         self._right_key = right_key
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         left_rows = list(self._left)
         right_rows = list(self._right)
         i = 0
@@ -356,7 +394,7 @@ class NestedLoopJoin(Operator):
         self._right = right
         self._condition = condition
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         right_rows = list(self._right)
         for left_row in self._left:
             for right_row in right_rows:
@@ -371,7 +409,7 @@ class Distinct(Operator):
         self._source = source
         self._key = key
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         seen: set = set()
         for row in self._source:
             key = self._key(row)
@@ -388,7 +426,7 @@ class Sort(Operator):
         self._key = key
         self._reverse = reverse
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         yield from sorted(self._source, key=self._key,
                           reverse=self._reverse)
 
@@ -409,7 +447,7 @@ class Decompress(Operator):
         self._columns = columns
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         for row in self._source:
             out = dict(row)
             for column in self._columns:

@@ -51,7 +51,7 @@ class StructuralJoin(Operator):
         self._axis = axis
         self._stats = stats
 
-    def __iter__(self) -> Iterator[Row]:
+    def _rows(self) -> Iterator[Row]:
         structure = self._structure
         a_column = self._ancestor_column
         d_column = self._descendant_column

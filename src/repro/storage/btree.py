@@ -16,6 +16,8 @@ from __future__ import annotations
 import bisect
 from collections.abc import Iterable, Iterator
 
+from repro.obs import runtime
+
 
 class _Node:
     __slots__ = ("keys", "leaf")
@@ -185,6 +187,9 @@ class BPlusTree:
             assert isinstance(node, _Internal)
             node = node.children[bisect.bisect_left(node.keys, key)]
         assert isinstance(node, _Leaf)
+        if runtime.ACTIVE is not None:
+            # One "page" per node on the root-to-leaf descent.
+            runtime.record_page_reads(self._height)
         return node, bisect.bisect_left(node.keys, key)
 
     def search(self, key):
@@ -223,6 +228,9 @@ class BPlusTree:
         else:
             leaf, slot = self._find_leaf(low)
         while leaf is not None:
+            if runtime.ACTIVE is not None:
+                # Each leaf visited by the scan is one page read.
+                runtime.record_page_reads(1)
             keys = leaf.keys
             for i in range(slot, len(keys)):
                 key = keys[i]

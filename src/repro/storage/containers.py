@@ -25,6 +25,7 @@ from collections.abc import Iterator
 from repro.compression.base import Codec, CompressedValue
 from repro.compression.blob import BlobCodec
 from repro.errors import StorageError
+from repro.obs import runtime
 
 
 class ContainerRecord:
@@ -172,6 +173,8 @@ class ValueContainer:
         standalone so downstream operators see a uniform record shape.
         """
         self._require_sealed()
+        if runtime.ACTIVE is not None:
+            runtime.add("container.scans")
         if self._blob is not None:
             assert self._blob_values is not None
             assert self._blob_parents is not None
@@ -198,6 +201,8 @@ class ValueContainer:
     def record_at(self, index: int) -> ContainerRecord:
         """Record by position (value pointers from the structure tree)."""
         self._require_sealed()
+        if runtime.ACTIVE is not None:
+            runtime.add("container.record_reads")
         if self._blob is not None:
             assert self._blob_values is not None
             assert self._blob_parents is not None
@@ -210,6 +215,8 @@ class ValueContainer:
     def value_at(self, index: int) -> str:
         """Plain value by position."""
         self._require_sealed()
+        if runtime.ACTIVE is not None:
+            runtime.add("container.record_reads")
         if self._blob is not None:
             assert self._blob_values is not None
             return self._blob_values[index]
@@ -227,6 +234,8 @@ class ValueContainer:
         probe pivots.  Bounds are plain strings (query constants).
         """
         self._require_sealed()
+        if runtime.ACTIVE is not None:
+            runtime.add("container.interval_searches")
         if self._blob is not None:
             # XMill-style chunk: no random access; filter a full scan.
             key = self._compare_key

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.obs import runtime
+
 #: virtual step names for value children.
 TEXT_STEP = "#text"
 
@@ -79,6 +81,8 @@ class StructureSummary:
         element/attribute name (attributes prefixed ``@``), or
         ``#text``.  Returns every summary node the path reaches.
         """
+        if runtime.ACTIVE is not None:
+            runtime.add("summary.resolves")
         frontier = [self.root]
         for axis, name in steps:
             matched: list[SummaryNode] = []

@@ -1,0 +1,84 @@
+"""Counters, histograms and the registry."""
+
+import json
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_adds(self):
+        cell = Counter("x")
+        assert cell.value == 0
+        cell.add()
+        cell.add(4)
+        assert cell.value == 5
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        hist = Histogram("h")
+        assert hist.summary() == {"count": 0, "total": 0.0, "p50": 0.0,
+                                  "p95": 0.0, "max": 0.0}
+        assert hist.percentile(50) == 0.0
+
+    def test_nearest_rank_percentiles(self):
+        hist = Histogram("h")
+        for value in range(1, 101):  # 1..100
+            hist.observe(value)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(100) == 100
+        assert abs(hist.percentile(50) - 50) <= 1
+        assert abs(hist.percentile(95) - 95) <= 1
+
+    def test_summary_fields(self):
+        hist = Histogram("h")
+        for value in (3, 1, 2):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 6
+        assert summary["max"] == 3
+        assert summary["p50"] == 2
+
+    def test_order_independent(self):
+        a, b = Histogram("a"), Histogram("b")
+        for value in (5, 1, 9, 3):
+            a.observe(value)
+        for value in (9, 5, 3, 1):
+            b.observe(value)
+        assert a.summary() == {**b.summary()}
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create_returns_same_cell(self):
+        registry = MetricsRegistry()
+        cell = registry.counter("hits")
+        cell.add(2)
+        assert registry.counter("hits") is cell
+        assert registry.counters() == {"hits": 2}
+
+    def test_add_shorthand(self):
+        registry = MetricsRegistry()
+        registry.add("hits")
+        registry.add("hits", 3)
+        assert registry.counter("hits").value == 4
+
+    def test_histogram_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 10.0)
+        registry.observe("lat", 20.0)
+        assert registry.histogram("lat").count == 2
+        assert registry.histograms()["lat"]["total"] == 30.0
+
+    def test_to_dict_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.add("a", 1)
+        registry.observe("b", 2.0)
+        doc = json.loads(json.dumps(registry.to_dict()))
+        assert doc["counters"] == {"a": 1}
+        assert doc["histograms"]["b"]["count"] == 1
+
+    def test_separate_registries_are_independent(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.add("x", 7)
+        assert two.counters() == {}

@@ -1,0 +1,101 @@
+"""The Telemetry bundle: span histograms, JSON export, activation."""
+
+import json
+
+from repro.obs import runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+
+
+class TestSpanHistograms:
+    def test_closed_spans_feed_histograms(self):
+        telemetry = Telemetry(enabled=True)
+        for _ in range(2):
+            with telemetry.span("ContScan"):
+                pass
+        summary = telemetry.metrics.histograms()["span.ContScan"]
+        assert summary["count"] == 2
+
+    def test_operator_profile_strips_prefix(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("HashJoin.build"):
+            pass
+        telemetry.metrics.observe("other.metric", 1.0)
+        profile = telemetry.operator_profile()
+        assert "HashJoin.build" in profile
+        assert "other.metric" not in profile
+
+    def test_disabled_records_no_spans(self):
+        telemetry = Telemetry(enabled=False)
+        with telemetry.span("ContScan"):
+            pass
+        assert telemetry.metrics.histograms() == {}
+
+
+class TestSharedRegistry:
+    def test_external_registry_is_used_directly(self):
+        registry = MetricsRegistry()
+        telemetry = Telemetry(enabled=True, metrics=registry)
+        assert telemetry.metrics is registry
+        with telemetry.span("X"):
+            pass
+        assert "span.X" in registry.histograms()
+
+
+class TestJsonExport:
+    def test_document_shape(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("Execute", query="/a/b"):
+            telemetry.metrics.add("decompressions", 3)
+        doc = json.loads(telemetry.to_json(indent=2))
+        assert sorted(doc) == ["enabled", "metrics", "operators",
+                               "trace"]
+        assert doc["enabled"] is True
+        assert doc["metrics"]["counters"]["decompressions"] == 3
+        assert doc["trace"]["spans"][0]["name"] == "Execute"
+        assert doc["trace"]["spans"][0]["attributes"]["query"] == "/a/b"
+
+    def test_operators_section_matches_profile(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("Parent"):
+            pass
+        doc = json.loads(telemetry.to_json())
+        assert doc["operators"]["Parent"]["count"] == 1
+
+
+class TestRuntimeActivation:
+    def test_activated_sets_and_restores(self):
+        telemetry = Telemetry(enabled=True)
+        assert runtime.ACTIVE is None
+        with runtime.activated(telemetry):
+            assert runtime.ACTIVE is telemetry
+        assert runtime.ACTIVE is None
+
+    def test_disabled_telemetry_deactivates(self):
+        with runtime.activated(Telemetry(enabled=False)):
+            assert runtime.ACTIVE is None
+
+    def test_reentrant_restores_previous(self):
+        outer = Telemetry(enabled=True)
+        inner = Telemetry(enabled=True)
+        with runtime.activated(outer):
+            with runtime.activated(inner):
+                assert runtime.ACTIVE is inner
+            assert runtime.ACTIVE is outer
+
+    def test_helpers_report_to_active_registry(self):
+        telemetry = Telemetry(enabled=True)
+        with runtime.activated(telemetry):
+            runtime.add("container.scans", 2)
+            runtime.record_codec("decode", "alm", 10, 25)
+            runtime.record_page_reads(3)
+        counters = telemetry.metrics.counters()
+        assert counters["container.scans"] == 2
+        assert counters["codec.alm.decode.calls"] == 1
+        assert counters["codec.alm.decode.compressed_bytes"] == 10
+        assert counters["codec.alm.decode.plain_chars"] == 25
+        assert counters["btree.page_reads"] == 3
+
+    def test_helpers_are_silent_when_inactive(self):
+        runtime.add("nothing")  # must not raise, must not record
+        assert runtime.ACTIVE is None

@@ -72,6 +72,41 @@ class TestQuery:
         assert "# decompressions" in output
 
 
+class TestAnalyze:
+    def test_query_analyze_flag(self, repository_file):
+        code, output = run(
+            "query", str(repository_file),
+            'for $b in /library/book where $b/title/text() = "Dune" '
+            "return $b/@isbn", "--analyze")
+        assert code == 0
+        assert "# EXPLAIN ANALYZE" in output
+        assert "[actual container_accesses=" in output
+        assert "# -- counters (== QueryResult.stats) --" in output
+        assert output.strip().endswith("1")  # the query result itself
+
+
+class TestTrace:
+    def test_emits_parsable_telemetry(self, repository_file):
+        import json
+        code, output = run("trace", str(repository_file),
+                           "/library/book/title/text()")
+        assert code == 0
+        doc = json.loads(output)
+        assert doc["enabled"] is True
+        assert doc["metrics"]["counters"]["summary_accesses"] >= 1
+        assert doc["trace"]["spans"][0]["name"] == "Query"
+
+    def test_output_file(self, repository_file, tmp_path):
+        import json
+        target = tmp_path / "telemetry.json"
+        code, output = run("trace", str(repository_file),
+                           "/library/book/title/text()",
+                           "--output", str(target))
+        assert code == 0 and "wrote telemetry" in output
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        assert doc["metrics"]["counters"]
+
+
 class TestStats:
     def test_breakdown(self, repository_file):
         code, output = run("stats", str(repository_file))
@@ -79,6 +114,23 @@ class TestStats:
         for label in ("container data", "structure summary",
                       "compression factor"):
             assert label in output
+
+    def test_container_table_names_codecs(self, repository_file):
+        code, output = run("stats", str(repository_file))
+        assert code == 0
+        assert "-- containers --" in output
+        title_row = next(line for line in output.splitlines()
+                         if "/library/book/title/#text" in line)
+        assert "alm" in title_row  # codec name in the row
+        isbn_row = next(line for line in output.splitlines()
+                        if "/library/book/@isbn" in line)
+        assert "integer" in isbn_row
+
+    def test_codec_totals_from_registry(self, repository_file):
+        code, output = run("stats", str(repository_file))
+        assert code == 0
+        assert "-- codec totals (from registry) --" in output
+        assert "decodes" in output and "B compressed" in output
 
 
 class TestDecompress:
