@@ -8,6 +8,8 @@ Commands mirror how the paper's system is used:
 * ``trace``      — run a query and emit its telemetry JSON;
 * ``stats``      — storage occupancy breakdown of a repository;
 * ``decompress`` — reconstruct the XML document from a repository;
+* ``lint-plan``  — statically verify the plans a query would run as;
+* ``lint-src``   — check engine-wide source invariants (Tier B lint);
 * ``xmlgen``     — generate an XMark auction document.
 """
 
@@ -77,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     decompress.add_argument("output", type=Path, nargs="?",
                             help="output file (stdout if omitted)")
 
+    lint_plan = commands.add_parser(
+        "lint-plan",
+        help="statically verify the plans a query would run as")
+    lint_plan.add_argument("repository", type=Path)
+    lint_plan.add_argument("xquery", help="the query text")
+    lint_plan.add_argument("--json", action="store_true",
+                           help="emit diagnostics as JSON")
+
+    lint_src = commands.add_parser(
+        "lint-src",
+        help="check engine-wide source invariants (Tier B lint)")
+    lint_src.add_argument("paths", type=Path, nargs="*",
+                          help="files/directories to lint (default: "
+                               "the installed repro package)")
+    lint_src.add_argument("--json", action="store_true",
+                          help="emit diagnostics as JSON")
+
     xmlgen = commands.add_parser(
         "xmlgen", help="generate an XMark auction document")
     xmlgen.add_argument("--factor", type=float, default=0.01,
@@ -96,6 +115,8 @@ def main(argv: list[str] | None = None,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "decompress": _cmd_decompress,
+        "lint-plan": _cmd_lint_plan,
+        "lint-src": _cmd_lint_src,
         "xmlgen": _cmd_xmlgen,
     }
     try:
@@ -256,6 +277,49 @@ def _cmd_decompress(args, out) -> int:
     else:
         print(text, file=out)
     return 0
+
+
+def _cmd_lint_plan(args, out) -> int:
+    import json
+
+    repository = load_repository(args.repository)
+    engine = QueryEngine(repository)
+    diagnostics = engine.verify(args.xquery)
+    if args.json:
+        print(json.dumps({
+            "query": args.xquery,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }, indent=2, sort_keys=True), file=out)
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format(), file=out)
+        errors = sum(d.severity == "error" for d in diagnostics)
+        print(f"{len(diagnostics)} diagnostic(s), {errors} error(s)",
+              file=out)
+    return 1 if any(d.severity == "error" for d in diagnostics) else 0
+
+
+def _cmd_lint_src(args, out) -> int:
+    import json
+
+    from repro.lint import lint_paths
+
+    paths = list(args.paths)
+    if not paths:
+        import repro
+        paths = [Path(repro.__file__).parent]
+    diagnostics = lint_paths(paths)
+    if args.json:
+        print(json.dumps({
+            "paths": [str(p) for p in paths],
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }, indent=2, sort_keys=True), file=out)
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format(), file=out)
+        print(f"{len(diagnostics)} diagnostic(s) in "
+              f"{len(paths)} path(s)", file=out)
+    return 1 if diagnostics else 0
 
 
 def _cmd_xmlgen(args, out) -> int:

@@ -17,7 +17,12 @@ are used by the XMill baseline and for containers no query touches.
 
 from repro.compression.alm import ALMCodec
 from repro.compression.arithmetic import ArithmeticCodec
-from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.base import (
+    Codec,
+    CodecProperties,
+    CompressedValue,
+    CompressionProperties,
+)
 from repro.compression.blob import BlobCodec, Bzip2Blob, ZlibBlob
 from repro.compression.huffman import HuffmanCodec
 from repro.compression.hutucker import HuTuckerCodec
@@ -36,6 +41,7 @@ __all__ = [
     "Codec",
     "CodecProperties",
     "CompressedValue",
+    "CompressionProperties",
     "FloatCodec",
     "HuffmanCodec",
     "HuTuckerCodec",

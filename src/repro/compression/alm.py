@@ -35,7 +35,7 @@ from repro.compression.alphabetic import (
     assign_alphabetic_codes,
     weight_balanced_code_lengths,
 )
-from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.base import Codec, CompressionProperties, CompressedValue
 from repro.compression.fastdecode import PrefixDecoder
 from repro.errors import CodecDomainError
 from repro.obs import runtime
@@ -106,7 +106,7 @@ class ALMCodec(Codec):
     """Order-preserving dictionary codec with interval symbols."""
 
     name = "alm"
-    properties = CodecProperties(eq=True, ineq=True, wild=False)
+    properties = CompressionProperties(eq=True, ineq=True, wild=False)
     # Token-at-a-time decoding: the fastest string decoder here (the
     # property §2.1 cites for choosing ALM in a database setting).
     decompression_cost = 0.5

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable
 
-from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.base import Codec, CompressionProperties, CompressedValue
 from repro.errors import CodecDomainError, CorruptDataError
 from repro.obs import runtime
 from repro.util.bits import BitReader, BitWriter
@@ -35,7 +35,7 @@ class ArithmeticCodec(Codec):
     """Static-model order-preserving arithmetic codec."""
 
     name = "arithmetic"
-    properties = CodecProperties(eq=True, ineq=True, wild=False)
+    properties = CompressionProperties(eq=True, ineq=True, wild=False)
     # Interval arithmetic per character: the costliest decoder here.
     decompression_cost = 1.6
 

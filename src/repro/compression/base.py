@@ -72,27 +72,50 @@ class CompressedValue:
         return len(self.data)
 
 
+#: the predicate kinds of the paper's capability tuple, in order.
+PREDICATE_KINDS = ("eq", "ineq", "wild")
+
+
 @dataclass(frozen=True, slots=True)
-class CodecProperties:
-    """The paper's algorithmic-property booleans (§3.2)."""
+class CompressionProperties:
+    """The paper's algorithmic-property booleans (§3.2).
+
+    ``ineq`` doubles as the *order-preserving* flag: a codec can answer
+    inequalities in the compressed domain exactly when compressed-value
+    order equals source-value order (ALM, Hu-Tucker, the numeric
+    codecs), which is also what merge joins and compressed-domain
+    binary search require.
+    """
 
     eq: bool
     ineq: bool
     wild: bool
 
     def supports(self, predicate_kind: str) -> bool:
-        """Look up support by predicate kind: 'eq', 'ineq' or 'wild'."""
-        if predicate_kind == "eq":
-            return self.eq
-        if predicate_kind == "ineq":
-            return self.ineq
-        if predicate_kind == "wild":
-            return self.wild
-        raise ValueError(f"unknown predicate kind {predicate_kind!r}")
+        """Look up support by predicate kind: 'eq', 'ineq' or 'wild'.
+
+        Raises :class:`ValueError` on any other kind — a silent
+        ``False``/``None`` here would let the optimizer and the plan
+        verifier disagree about a capability that does not exist.
+        """
+        if predicate_kind not in PREDICATE_KINDS:
+            raise ValueError(
+                f"unknown predicate kind {predicate_kind!r}; "
+                f"expected one of {', '.join(PREDICATE_KINDS)}")
+        return bool(getattr(self, predicate_kind))
+
+    @property
+    def order_preserving(self) -> bool:
+        """Compressed order == value order (the ``ineq`` capability)."""
+        return self.ineq
 
     def count_true(self) -> int:
         """Number of properties holding — the greedy search's tie-break."""
         return int(self.eq) + int(self.ineq) + int(self.wild)
+
+
+#: historical name, kept so external codecs keep importing.
+CodecProperties = CompressionProperties
 
 
 class Codec(ABC):
@@ -105,8 +128,11 @@ class Codec(ABC):
 
     #: registry name, e.g. ``"huffman"`` or ``"alm"``.
     name: str = "abstract"
-    #: the paper's eq/ineq/wild booleans.
-    properties: CodecProperties = CodecProperties(False, False, False)
+    #: the paper's eq/ineq/wild booleans.  Concrete codecs must declare
+    #: their own (``repro lint-src`` enforces it); this default exists
+    #: only so the abstract base is importable.
+    properties: CompressionProperties = CompressionProperties(
+        False, False, False)
     #: relative per-record decompression cost estimate (``d_c``).
     decompression_cost: float = 1.0
 

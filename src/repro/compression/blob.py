@@ -19,7 +19,7 @@ import bz2
 import zlib
 from collections.abc import Iterable
 
-from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.base import Codec, CompressionProperties, CompressedValue
 from repro.errors import CorruptDataError
 from repro.obs import runtime
 
@@ -31,7 +31,7 @@ _SEPARATOR = b"\x00"
 class BlobCodec(Codec):
     """Base class for chunk compressors; subclasses bind the algorithm."""
 
-    properties = CodecProperties(eq=False, ineq=False, wild=False)
+    properties = CompressionProperties(eq=False, ineq=False, wild=False)
     #: blob codecs force whole-chunk decompression on any record access.
     decompression_cost = 4.0
     is_blob = True

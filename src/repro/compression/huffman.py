@@ -17,7 +17,7 @@ import heapq
 from collections import Counter
 from collections.abc import Iterable
 
-from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.base import Codec, CompressionProperties, CompressedValue
 from repro.errors import CodecDomainError
 from repro.obs import runtime
 from repro.util.bits import BitWriter
@@ -69,7 +69,7 @@ class HuffmanCodec(Codec):
     """Character-level canonical Huffman codec."""
 
     name = "huffman"
-    properties = CodecProperties(eq=True, ineq=False, wild=True)
+    properties = CompressionProperties(eq=True, ineq=False, wild=True)
     # Bit-by-bit tree walk per output character: the slowest decoder here.
     decompression_cost = 1.0
 

@@ -23,7 +23,7 @@ from collections import Counter
 from collections.abc import Iterable, Sequence
 
 from repro.compression.alphabetic import assign_alphabetic_codes
-from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.base import Codec, CompressionProperties, CompressedValue
 from repro.errors import CodecDomainError
 from repro.obs import runtime
 from repro.util.bits import BitWriter
@@ -101,7 +101,7 @@ class HuTuckerCodec(Codec):
     """Character-level optimal alphabetical code."""
 
     name = "hutucker"
-    properties = CodecProperties(eq=True, ineq=True, wild=True)
+    properties = CompressionProperties(eq=True, ineq=True, wild=True)
     # Same bit-by-bit decode loop as Huffman.
     decompression_cost = 1.0
 

@@ -17,7 +17,7 @@ import math
 import struct
 from collections.abc import Iterable
 
-from repro.compression.base import Codec, CodecProperties, CompressedValue
+from repro.compression.base import Codec, CompressionProperties, CompressedValue
 from repro.errors import CodecDomainError, CorruptDataError
 from repro.obs import runtime
 
@@ -45,7 +45,7 @@ class IntegerCodec(Codec):
     """Offset fixed-width big-endian integer codec."""
 
     name = "integer"
-    properties = CodecProperties(eq=True, ineq=True, wild=False)
+    properties = CompressionProperties(eq=True, ineq=True, wild=False)
     # One int-from-bytes call per record: near-free.
     decompression_cost = 0.1
 
@@ -108,7 +108,7 @@ class FloatCodec(Codec):
     """IEEE-754 total-order codec for canonical float text."""
 
     name = "float"
-    properties = CodecProperties(eq=True, ineq=True, wild=False)
+    properties = CompressionProperties(eq=True, ineq=True, wild=False)
     decompression_cost = 0.1
 
     _WIDTH = 8

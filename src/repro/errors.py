@@ -92,3 +92,21 @@ class UnsupportedFeatureError(QueryError):
 
 class PlanError(QueryError):
     """The optimizer could not build a physical plan for the query."""
+
+
+class PlanVerificationError(PlanError):
+    """The static plan verifier found error-severity violations.
+
+    Raised before a single row flows; ``diagnostics`` carries every
+    :class:`repro.lint.PlanDiagnostic` of the failed verification
+    (warnings included, for context).
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        errors = [d for d in self.diagnostics if d.severity == "error"]
+        lines = [f"plan verification failed "
+                 f"({len(errors)} error(s)):"]
+        lines += [f"  [{d.rule}] {d.operator_path}: {d.message}"
+                  for d in errors]
+        super().__init__("\n".join(lines))

@@ -1,0 +1,34 @@
+"""Static analysis for the XQueC engine (plans and source).
+
+Two tiers, one goal: catch invariant violations *before a single row
+flows* (or a PR merges).
+
+* **Tier A — plan verifier** (:mod:`repro.lint.plan`): a visitor over
+  physical plans (:mod:`repro.query.physical`) that propagates inferred
+  plan properties — column schema, sortedness, compressed-vs-plain
+  state, codec capabilities — and emits rule-tagged
+  :class:`PlanDiagnostic` objects for violations of the paper's
+  capability (§3.2) and order (§4) assumptions.
+  :func:`repro.lint.compile.verify_query` compiles the engine's chosen
+  strategies into a plan sketch and verifies it; the engine runs it as
+  a fail-fast gate.
+* **Tier B — source lint** (:mod:`repro.lint.source`): an ``ast``-based
+  checker for the repo's engine-invariant conventions (operator
+  ``_rows``/``_traced`` routing, codec property declarations, sanctioned
+  decompression sites, no bare ``except``/mutable defaults), run as
+  ``repro lint-src`` and in CI.
+"""
+
+from repro.lint.diagnostics import PlanDiagnostic, SourceDiagnostic
+from repro.lint.plan import verify_plan
+from repro.lint.rules import RULES, Rule
+from repro.lint.source import lint_paths
+
+__all__ = [
+    "PlanDiagnostic",
+    "RULES",
+    "Rule",
+    "SourceDiagnostic",
+    "lint_paths",
+    "verify_plan",
+]

@@ -18,7 +18,7 @@ from repro.obs.tracer import Tracer
 class Telemetry:
     """Tracer + metrics registry for one engine run."""
 
-    __slots__ = ("enabled", "tracer", "metrics")
+    __slots__ = ("enabled", "tracer", "metrics", "diagnostics")
 
     def __init__(self, enabled: bool = True,
                  metrics: MetricsRegistry | None = None):
@@ -26,6 +26,9 @@ class Telemetry:
         self.metrics = metrics if metrics is not None else \
             MetricsRegistry()
         self.tracer = Tracer(enabled=enabled, on_end=self._span_ended)
+        #: non-fatal plan-verifier findings of the run
+        #: (:class:`repro.lint.PlanDiagnostic` objects).
+        self.diagnostics: list = []
 
     def _span_ended(self, span) -> None:
         self.metrics.observe(f"span.{span.name}", span.duration_ns)
@@ -50,6 +53,7 @@ class Telemetry:
             "metrics": self.metrics.to_dict(),
             "operators": self.operator_profile(),
             "trace": self.tracer.to_dict(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
     def to_json(self, indent: int | None = None) -> str:

@@ -21,7 +21,6 @@ from repro.obs import runtime
 from repro.obs.telemetry import Telemetry
 from repro.query.ast import Expression
 from repro.query.explain import explain
-from repro.storage.repository import CompressedRepository
 
 
 @dataclass
@@ -87,7 +86,17 @@ def _render(sketch: str, result, telemetry: Telemetry,
     lines.extend(_counter_section(result.stats))
     lines.append("")
     lines.extend(_compression_section(result.stats, metrics))
+    if telemetry.diagnostics:
+        lines.append("")
+        lines.extend(_diagnostics_section(telemetry))
     return "\n".join(lines)
+
+
+def _diagnostics_section(telemetry: Telemetry) -> list[str]:
+    out = ["-- plan diagnostics (static verifier) --"]
+    for diagnostic in telemetry.diagnostics:
+        out.append(diagnostic.format())
+    return out
 
 
 def _annotate(line: str, stats, histograms: dict) -> str:

@@ -133,13 +133,22 @@ class QueryEngine:
 
     def __init__(self, repository: CompressedRepository,
                  collection: dict[str, CompressedRepository]
-                 | None = None, telemetry_enabled: bool = False):
+                 | None = None, telemetry_enabled: bool = False,
+                 verify_plans: bool = True):
         self.repository = repository
         self.collection = collection or {}
         #: when True, every ``execute`` records spans and histograms;
         #: counters are always kept (they back ``QueryResult.stats``).
         self.telemetry_enabled = telemetry_enabled
+        #: when True, the Tier-A plan verifier gates every ``execute``:
+        #: error diagnostics raise
+        #: :class:`~repro.errors.PlanVerificationError` before any row
+        #: is produced; warnings flow into the run's telemetry.
+        self.verify_plans = verify_plans
         self._fulltext_indexes: dict[str, "FullTextIndex"] = {}
+        #: verifier results per parsed query (the AST is kept alive so
+        #: its id() cannot be reused by a different expression).
+        self._verify_cache: dict[int, tuple[Expression, list]] = {}
 
     def repository_of(self, doc: str | None) -> CompressedRepository:
         """Repository for a document name (default when unknown)."""
@@ -170,6 +179,15 @@ class QueryEngine:
         ast = parse_query(query) if isinstance(query, str) else query
         if telemetry is None:
             telemetry = Telemetry(enabled=self.telemetry_enabled)
+        if self.verify_plans:
+            diagnostics = self.verify(ast)
+            errors = [d for d in diagnostics if d.severity == "error"]
+            if errors:
+                from repro.errors import PlanVerificationError
+                raise PlanVerificationError(diagnostics)
+            telemetry.diagnostics.extend(diagnostics)
+            for diagnostic in diagnostics:
+                telemetry.metrics.add(f"lint.{diagnostic.severity}")
         evaluator = _Evaluator(self.repository, self._fulltext_indexes,
                                self.collection, telemetry=telemetry)
         if not telemetry.enabled:
@@ -182,6 +200,24 @@ class QueryEngine:
                     items = evaluator.eval(ast, {})
         return QueryResult(items, evaluator.stats, self,
                            telemetry=telemetry)
+
+    def verify(self, query: str | Expression) -> list:
+        """Statically verify the plans a query would evaluate as.
+
+        Compiles the optimizer's decisions into plan sketches and runs
+        the Tier-A verifier over them; returns the
+        :class:`~repro.lint.PlanDiagnostic` list (cached per parsed
+        expression — ``execute`` calls this on every run).
+        """
+        ast = parse_query(query) if isinstance(query, str) else query
+        cached = self._verify_cache.get(id(ast))
+        if cached is not None and cached[0] is ast:
+            return cached[1]
+        from repro.lint.compile import verify_query
+        diagnostics = verify_query(ast, self.repository,
+                                   self.collection)
+        self._verify_cache[id(ast)] = (ast, diagnostics)
+        return diagnostics
 
     def explain(self, query: str | Expression) -> str:
         """Describe the evaluation strategy without running the query."""

@@ -8,7 +8,8 @@ Three operator classes, exactly as the paper groups them:
 * **data combination** — :class:`Select`, :class:`MergeJoin`,
   :class:`HashJoin`, :class:`NestedLoopJoin`, :class:`Project`,
   :class:`Distinct`, :class:`Sort`;
-* **(de)compression** — :class:`Decompress`, :class:`CompressConstant`.
+* **(de)compression / serialization** — :class:`Decompress`,
+  :class:`CompressConstant`, :class:`XMLSerialize`.
 
 Operators are iterators over *rows* (dicts mapping column names to
 items), so plans compose by nesting.  Order guarantees mirror §4:
@@ -63,14 +64,27 @@ class Operator:
 
     ``__iter__`` routes through :func:`_traced` using the class name,
     so every physical operator reports rows and wall time whenever a
-    telemetry run is active; subclasses implement ``_rows``.
+    telemetry run is active; subclasses implement ``_rows`` (both are
+    repo invariants enforced by ``repro lint-src``).
+
+    ``INPUTS`` names the attributes holding the operator's row-stream
+    inputs, in plan order — the static plan verifier
+    (:mod:`repro.lint.plan`) walks plans through it without executing
+    them.
     """
+
+    #: attribute names of this operator's row-stream inputs, in order.
+    INPUTS: tuple[str, ...] = ()
 
     def __iter__(self) -> Iterator[Row]:
         return _traced(type(self).__name__, self._rows())
 
     def _rows(self) -> Iterator[Row]:
         raise NotImplementedError
+
+    def inputs(self) -> list:
+        """The operator's input streams (operators or plain iterables)."""
+        return [getattr(self, name) for name in self.INPUTS]
 
     def rows(self) -> list[Row]:
         """Materialize the full output (convenience for tests/benches)."""
@@ -89,6 +103,9 @@ class ContScan(Operator):
         self._id_column = id_column
         self._value_column = value_column
         self._stats = stats
+        self.container = self._container
+        self.id_column = id_column
+        self.value_column = value_column
 
     def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
@@ -115,6 +132,10 @@ class ContAccess(Operator):
         self._value_column = value_column
         self._interval = (low, high, low_inclusive, high_inclusive)
         self._stats = stats
+        self.container = self._container
+        self.id_column = id_column
+        self.value_column = value_column
+        self.interval = self._interval
 
     def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
@@ -140,6 +161,7 @@ class StructureSummaryAccess(Operator):
         self._steps = steps
         self._column = column
         self._stats = stats
+        self.column = column
 
     def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
@@ -158,6 +180,8 @@ class Child(Operator):
     preserved (§4).
     """
 
+    INPUTS = ("_source",)
+
     def __init__(self, source: Iterable[Row],
                  repository: CompressedRepository,
                  input_column: str, output_column: str,
@@ -169,6 +193,8 @@ class Child(Operator):
         self._output = output_column
         self._tag = tag
         self._stats = stats
+        self.input_column = input_column
+        self.output_column = output_column
 
     def _rows(self) -> Iterator[Row]:
         structure = self._repository.structure
@@ -187,6 +213,8 @@ class Child(Operator):
 class Parent(Operator):
     """Append each input node's parent; preserves input order (§4)."""
 
+    INPUTS = ("_source",)
+
     def __init__(self, source: Iterable[Row],
                  repository: CompressedRepository,
                  input_column: str, output_column: str,
@@ -196,6 +224,8 @@ class Parent(Operator):
         self._input = input_column
         self._output = output_column
         self._stats = stats
+        self.input_column = input_column
+        self.output_column = output_column
 
     def _rows(self) -> Iterator[Row]:
         structure = self._repository.structure
@@ -212,6 +242,8 @@ class Parent(Operator):
 class Descendant(Operator):
     """Append each input node's descendants (optionally tag-filtered)."""
 
+    INPUTS = ("_source",)
+
     def __init__(self, source: Iterable[Row],
                  repository: CompressedRepository,
                  input_column: str, output_column: str,
@@ -223,6 +255,8 @@ class Descendant(Operator):
         self._output = output_column
         self._tag = tag
         self._stats = stats
+        self.input_column = input_column
+        self.output_column = output_column
 
     def _rows(self) -> Iterator[Row]:
         structure = self._repository.structure
@@ -246,6 +280,8 @@ class TextContent(Operator):
     and a ``ContScan`` of the text container.
     """
 
+    INPUTS = ("_source",)
+
     def __init__(self, source: Iterable[Row],
                  repository: CompressedRepository,
                  input_column: str, output_column: str,
@@ -257,6 +293,9 @@ class TextContent(Operator):
         self._output = output_column
         self._container_path = container_path
         self._stats = stats
+        self.input_column = input_column
+        self.output_column = output_column
+        self.container = repository.container(container_path)
 
     def _rows(self) -> Iterator[Row]:
         container = self._repository.container(self._container_path)
@@ -278,6 +317,8 @@ class TextContent(Operator):
 class AttributeContent(Operator):
     """Pair element ids with one attribute's compressed value."""
 
+    INPUTS = ("_inner",)
+
     def __init__(self, source: Iterable[Row],
                  repository: CompressedRepository,
                  input_column: str, output_column: str,
@@ -293,11 +334,28 @@ class AttributeContent(Operator):
 # -- data combination operators --------------------------------------------------
 
 class Select(Operator):
-    """Filter rows by a Python predicate over the row."""
+    """Filter rows by a Python predicate over the row.
 
-    def __init__(self, source: Iterable[Row], predicate):
+    The predicate callable is opaque; the keyword-only metadata
+    declares what it does so the plan verifier can check it statically:
+    ``column`` names the (possibly compressed) column it tests,
+    ``predicate_kind`` is the paper's capability kind (``"eq"``,
+    ``"ineq"`` or ``"wild"``) when the test runs *in the compressed
+    domain*, and ``references`` lists every column the predicate reads.
+    """
+
+    INPUTS = ("_source",)
+
+    def __init__(self, source: Iterable[Row], predicate, *,
+                 column: str | None = None,
+                 predicate_kind: str | None = None,
+                 references: tuple[str, ...] | None = None):
         self._source = source
         self._predicate = predicate
+        self.column = column
+        self.predicate_kind = predicate_kind
+        self.references = tuple(references) if references is not None \
+            else ((column,) if column is not None else None)
 
     def _rows(self) -> Iterator[Row]:
         predicate = self._predicate
@@ -309,9 +367,12 @@ class Select(Operator):
 class Project(Operator):
     """Keep only the named columns."""
 
+    INPUTS = ("_source",)
+
     def __init__(self, source: Iterable[Row], columns: list[str]):
         self._source = source
         self._columns = columns
+        self.columns = tuple(columns)
 
     def _rows(self) -> Iterator[Row]:
         columns = self._columns
@@ -320,16 +381,28 @@ class Project(Operator):
 
 
 class HashJoin(Operator):
-    """Equi-join on key functions; builds on the right input."""
+    """Equi-join on key functions; builds on the right input.
+
+    Output order follows the probe (left) input.  ``left_column`` /
+    ``right_column`` optionally name the key columns so the verifier
+    can check that a compressed-domain join compares values from one
+    compressed domain (same source model).
+    """
+
+    INPUTS = ("_left", "_right")
 
     def __init__(self, left: Iterable[Row], right: Iterable[Row],
                  left_key, right_key,
-                 stats: EvaluationStats | None = None):
+                 stats: EvaluationStats | None = None, *,
+                 left_column: str | None = None,
+                 right_column: str | None = None):
         self._left = left
         self._right = right
         self._left_key = left_key
         self._right_key = right_key
         self._stats = stats
+        self.left_column = left_column
+        self.right_column = right_column
 
     def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
@@ -346,15 +419,24 @@ class MergeJoin(Operator):
     """1-pass merge join over inputs already sorted on their keys.
 
     The order-preserving container scans make this the paper's operator
-    of choice for value joins (§4): no sort is needed.
+    of choice for value joins (§4): no sort is needed — but *only* when
+    both inputs really arrive sorted on their keys.  Declare the key
+    columns via ``left_column``/``right_column`` and the plan verifier
+    proves (or refutes) that order statically.
     """
 
+    INPUTS = ("_left", "_right")
+
     def __init__(self, left: Iterable[Row], right: Iterable[Row],
-                 left_key, right_key):
+                 left_key, right_key, *,
+                 left_column: str | None = None,
+                 right_column: str | None = None):
         self._left = left
         self._right = right
         self._left_key = left_key
         self._right_key = right_key
+        self.left_column = left_column
+        self.right_column = right_column
 
     def _rows(self) -> Iterator[Row]:
         left_rows = list(self._left)
@@ -388,11 +470,16 @@ class MergeJoin(Operator):
 class NestedLoopJoin(Operator):
     """Theta-join by nested iteration (the baseline engines' only join)."""
 
+    INPUTS = ("_left", "_right")
+
     def __init__(self, left: Iterable[Row], right: Iterable[Row],
-                 condition):
+                 condition, *,
+                 references: tuple[str, ...] | None = None):
         self._left = left
         self._right = right
         self._condition = condition
+        self.references = tuple(references) if references is not None \
+            else None
 
     def _rows(self) -> Iterator[Row]:
         right_rows = list(self._right)
@@ -405,9 +492,13 @@ class NestedLoopJoin(Operator):
 class Distinct(Operator):
     """Drop duplicate rows (by a key function)."""
 
-    def __init__(self, source: Iterable[Row], key):
+    INPUTS = ("_source",)
+
+    def __init__(self, source: Iterable[Row], key, *,
+                 columns: tuple[str, ...] | None = None):
         self._source = source
         self._key = key
+        self.columns = tuple(columns) if columns is not None else None
 
     def _rows(self) -> Iterator[Row]:
         seen: set = set()
@@ -419,12 +510,21 @@ class Distinct(Operator):
 
 
 class Sort(Operator):
-    """Sort rows by a key function (needed only when order was lost)."""
+    """Sort rows by a key function (needed only when order was lost).
 
-    def __init__(self, source: Iterable[Row], key, reverse: bool = False):
+    ``columns`` optionally declares which columns the key reads, in
+    significance order — downstream order-dependent operators
+    (``MergeJoin``) are then statically known to be safe.
+    """
+
+    INPUTS = ("_source",)
+
+    def __init__(self, source: Iterable[Row], key, reverse: bool = False,
+                 *, columns: tuple[str, ...] | None = None):
         self._source = source
         self._key = key
         self._reverse = reverse
+        self.columns = tuple(columns) if columns is not None else None
 
     def _rows(self) -> Iterator[Row]:
         yield from sorted(self._source, key=self._key,
@@ -438,14 +538,18 @@ class Decompress(Operator):
 
     In the paper's plans (Figure 5) this sits at the very top: values
     stay compressed through selections and joins, and only the final
-    results are decompressed.
+    results are decompressed — exactly once per value (the plan
+    verifier's missing/duplicate-Decompress rule).
     """
+
+    INPUTS = ("_source",)
 
     def __init__(self, source: Iterable[Row], columns: list[str],
                  stats: EvaluationStats):
         self._source = source
         self._columns = columns
         self._stats = stats
+        self.columns = tuple(columns)
 
     def _rows(self) -> Iterator[Row]:
         for row in self._source:
@@ -454,6 +558,40 @@ class Decompress(Operator):
                 item = out.get(column)
                 if isinstance(item, CompressedItem):
                     out[column] = item.decode(self._stats)
+            yield out
+
+
+class XMLSerialize(Operator):
+    """Render value columns of each row as plain strings (plan sink).
+
+    The topmost operator of the paper's plans: by the time rows reach
+    serialization every value must have passed through ``Decompress``
+    exactly once.  The invariant is enforced statically by the plan
+    verifier and dynamically here — a :class:`CompressedItem` reaching
+    serialization raises :class:`~repro.errors.QueryTypeError` instead
+    of silently emitting compressed bytes.
+    """
+
+    INPUTS = ("_source",)
+
+    def __init__(self, source: Iterable[Row],
+                 columns: list[str] | tuple[str, ...]):
+        self._source = source
+        self.columns = tuple(columns)
+
+    def _rows(self) -> Iterator[Row]:
+        from repro.errors import QueryTypeError
+        for row in self._source:
+            out = dict(row)
+            for column in self.columns:
+                item = out.get(column)
+                if isinstance(item, CompressedItem):
+                    raise QueryTypeError(
+                        f"column {column!r} reached XMLSerialize still "
+                        "compressed; plans must Decompress every "
+                        "serialized value exactly once")
+                if not isinstance(item, str):
+                    out[column] = str(item)
             yield out
 
 

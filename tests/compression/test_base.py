@@ -78,3 +78,42 @@ class TestCodecProperties:
 
     def test_count_true(self):
         assert CodecProperties(True, True, False).count_true() == 2
+
+
+class TestCompressionProperties:
+    """`CompressionProperties` is the new name of the §3.2 capability
+    tuple; `CodecProperties` stays as a compatibility alias."""
+
+    def test_alias_is_the_same_class(self):
+        from repro.compression.base import CompressionProperties
+        assert CompressionProperties is CodecProperties
+
+    def test_predicate_kinds_catalog(self):
+        from repro.compression.base import PREDICATE_KINDS
+        assert PREDICATE_KINDS == ("eq", "ineq", "wild")
+
+    def test_supports_raises_on_any_unknown_kind(self):
+        from repro.compression.base import CompressionProperties
+        props = CompressionProperties(eq=True, ineq=True, wild=True)
+        for kind in ("fuzzy", "EQ", "", "prefix", None):
+            with pytest.raises(ValueError) as exc_info:
+                props.supports(kind)
+            assert "eq" in str(exc_info.value)
+
+    def test_supports_cannot_silently_return(self):
+        """Every declared kind returns a bool; everything else raises —
+        there is no silent-None path left."""
+        from repro.compression.base import (
+            PREDICATE_KINDS,
+            CompressionProperties,
+        )
+        props = CompressionProperties(eq=True, ineq=False, wild=True)
+        for kind in PREDICATE_KINDS:
+            assert isinstance(props.supports(kind), bool)
+
+    def test_order_preserving_mirrors_ineq(self):
+        from repro.compression.base import CompressionProperties
+        assert CompressionProperties(
+            eq=True, ineq=True, wild=False).order_preserving
+        assert not CompressionProperties(
+            eq=True, ineq=False, wild=True).order_preserving

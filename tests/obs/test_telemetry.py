@@ -48,8 +48,8 @@ class TestJsonExport:
         with telemetry.span("Execute", query="/a/b"):
             telemetry.metrics.add("decompressions", 3)
         doc = json.loads(telemetry.to_json(indent=2))
-        assert sorted(doc) == ["enabled", "metrics", "operators",
-                               "trace"]
+        assert sorted(doc) == ["diagnostics", "enabled", "metrics",
+                               "operators", "trace"]
         assert doc["enabled"] is True
         assert doc["metrics"]["counters"]["decompressions"] == 3
         assert doc["trace"]["spans"][0]["name"] == "Execute"

@@ -219,3 +219,97 @@ class TestFullTextPlans:
             'for $v in /a/b where word-contains($v/d/text(), "  ") '
             "return $v")
         assert find_fulltext_plan(where, "v") is None
+
+
+class TestFlip:
+    """`_flip` mirrors a comparison when the constant is on the left."""
+
+    def test_every_operator_flips(self):
+        from repro.query.optimizer import _flip
+        assert _flip("=") == "="
+        assert _flip("!=") == "!="
+        assert _flip("<") == ">"
+        assert _flip("<=") == ">="
+        assert _flip(">") == "<"
+        assert _flip(">=") == "<="
+
+    def test_flip_is_an_involution(self):
+        from repro.query.optimizer import _flip
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            assert _flip(_flip(op)) == op
+
+    def test_flipped_inequality_bounds(self):
+        """`const op path` must produce the mirrored interval of
+        `path flipped-op const` for every inequality."""
+        for op, low, high, li, hi in (
+                ("<", "m", None, False, True),   # "m" < $v/c
+                ("<=", "m", None, True, True),
+                (">", None, "m", True, False),   # "m" > $v/c
+                (">=", None, "m", True, True)):
+            where = where_of(
+                f'for $v in /a/b where "m" {op} $v/c/text() return $v')
+            plan = find_range_plan(where, "v")
+            assert plan is not None, op
+            assert (plan.low, plan.high) == (low, high), op
+            assert (plan.low_inclusive, plan.high_inclusive) == \
+                (li, hi), op
+
+    def test_flipped_join_probe_sides(self):
+        """find_join_plan puts build/probe right regardless of which
+        side mentions the clause variable."""
+        left = where_of("for $v in /a/b where $v/c = $w/d return $v")
+        right = where_of("for $v in /a/b where $w/d = $v/c return $v")
+        for where in (left, right):
+            plan = find_join_plan(where, "v", {"w"})
+            assert plan is not None
+            assert free_vars(plan.build_expr) == {"v"}
+            assert free_vars(plan.probe_expr) == {"w"}
+
+
+class TestVerifierAgreement:
+    """The static verifier classifies flipped comparisons exactly as
+    the optimizer evaluates them (satellite check of the lint issue)."""
+
+    def _repo(self, codec: str):
+        from repro.partitioning.config import (
+            CompressionConfiguration,
+            ContainerGroup,
+        )
+        from repro.storage.loader import load_document
+        xml = "<a>" + "".join(
+            f"<b><c>v{i:02d}</c></b>" for i in range(8)) + "</a>"
+        configuration = CompressionConfiguration(groups=[
+            ContainerGroup(("/a/b/c/#text",), codec)])
+        return load_document(xml, configuration=configuration)
+
+    def test_flipped_ineq_on_order_preserving_codec_clean(self):
+        from repro.lint.compile import verify_query
+        repo = self._repo("alm")
+        diagnostics = verify_query(parse_query(
+            'for $v in /a/b where "v03" < $v/c/text() return $v'),
+            repo)
+        assert diagnostics == []
+
+    def test_flipped_ineq_on_order_agnostic_codec_degrades(self):
+        """huffman cannot answer the flipped `<` compressed: the sketch
+        decompresses first, so no error — only the pivot warning."""
+        from repro.lint.compile import verify_query
+        repo = self._repo("huffman")
+        diagnostics = verify_query(parse_query(
+            'for $v in /a/b where "v03" < $v/c/text() return $v'),
+            repo)
+        assert [d.severity for d in diagnostics] == ["warning"]
+        assert [d.rule for d in diagnostics] == \
+            ["plan.interval-decompressing"]
+
+    def test_flipped_and_direct_forms_agree(self):
+        from repro.lint.compile import verify_query
+        repo = self._repo("hutucker")
+        direct = verify_query(parse_query(
+            'for $v in /a/b where $v/c/text() > "v03" return $v'),
+            repo)
+        flipped = verify_query(parse_query(
+            'for $v in /a/b where "v03" < $v/c/text() return $v'),
+            repo)
+        assert [d.rule for d in direct] == [d.rule for d in flipped]
+        assert direct == flipped == []

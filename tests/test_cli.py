@@ -208,3 +208,69 @@ class TestErrors:
         err = io.StringIO()
         code = main(["stats", str(junk)], out=io.StringIO(), err=err)
         assert code == 1
+
+
+class TestLintPlan:
+    def test_clean_query(self, repository_file):
+        code, output = run("lint-plan", str(repository_file),
+                           'for $b in /library/book where '
+                           '$b/title/text() = "Dune" '
+                           "return $b/title/text()")
+        assert code == 0
+        assert "0 error(s)" in output
+
+    def test_json_output(self, repository_file):
+        import json
+        code, output = run("lint-plan", "--json",
+                           str(repository_file), "/library/book/title")
+        assert code == 0
+        document = json.loads(output)
+        assert document["query"] == "/library/book/title"
+        assert document["diagnostics"] == []
+
+    def test_warning_does_not_fail(self, tmp_path):
+        """Warnings print but exit 0; only errors gate the exit code."""
+        source = tmp_path / "d.xml"
+        source.write_text(DOC, encoding="utf-8")
+        workload = tmp_path / "queries.txt"
+        # A wildcard-heavy workload pushes the search toward huffman,
+        # making the interval probe decompress pivots.
+        workload.write_text(
+            'for $b in /library/book where starts-with('
+            '$b/title/text(), "Du") return $b\n' * 3, encoding="utf-8")
+        target = tmp_path / "d.xqc"
+        code, _ = run("compress", str(source), str(target),
+                      "--workload", str(workload))
+        assert code == 0
+        code, output = run("lint-plan", str(target),
+                           'for $b in /library/book where '
+                           '$b/title/text() >= "A" return $b')
+        assert code == 0
+        assert "0 error(s)" in output.splitlines()[-1]
+
+
+class TestLintSrc:
+    def test_clean_on_installed_package(self):
+        code, output = run("lint-src")
+        assert code == 0
+        assert "0 diagnostic(s)" in output
+
+    def test_reports_violations(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    try:\n        return x\n"
+                       "    except:\n        return None\n",
+                       encoding="utf-8")
+        code, output = run("lint-src", str(tmp_path))
+        assert code == 1
+        assert "src.mutable-default" in output
+        assert "src.bare-except" in output
+
+    def test_json_output(self, tmp_path):
+        import json
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        code, output = run("lint-src", "--json", str(tmp_path))
+        assert code == 1
+        document = json.loads(output)
+        assert [d["rule"] for d in document["diagnostics"]] == \
+            ["src.mutable-default"]
