@@ -1,0 +1,29 @@
+"""Workload-driven compression advisor.
+
+Closes the loop the paper leaves open: §3's cost model chooses a
+compression configuration *before* loading from an *anticipated*
+workload; the advisor re-evaluates that choice *after* the fact from
+the workload the :mod:`repro.obs.workload` recorder actually observed,
+and recommends container recompressions when the two have drifted
+apart.
+"""
+
+from repro.advisor.drift import (
+    DriftReport,
+    Recommendation,
+    analyze_drift,
+    live_configuration,
+    merged_activity,
+    observed_workload,
+)
+from repro.advisor.report import render_report
+
+__all__ = [
+    "DriftReport",
+    "Recommendation",
+    "analyze_drift",
+    "live_configuration",
+    "merged_activity",
+    "observed_workload",
+    "render_report",
+]

@@ -1,0 +1,325 @@
+"""Cost-model drift analysis over the observed workload journal.
+
+The second half of the tuning loop: fold journalled
+:class:`~repro.obs.workload.WorkloadRecord` observations back into a
+§3.2 :class:`~repro.partitioning.workload.Workload`, rebuild the cost
+model over the *live* repository's container statistics, and compare
+the configuration the repository actually runs (derived from the
+codecs its containers were sealed with) against what the §3.3 greedy
+search would choose for the workload we actually observed.
+
+The output is a :class:`DriftReport`: per-container cost deltas plus
+concrete "recompress container X from huffman to alm" recommendations
+with estimated storage/decompression savings.  Only string containers
+participate — numeric containers keep their typed codecs (§2.1), which
+already evaluate ``eq``/``ineq`` in the compressed domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.compression.registry import codec_class
+from repro.obs.workload import ACCESS_OPS, WorkloadRecord
+from repro.partitioning.config import (
+    CompressionConfiguration,
+    ContainerGroup,
+)
+from repro.partitioning.cost import ContainerProfile, CostModel
+from repro.partitioning.search import DEFAULT_ALGORITHMS, greedy_search
+from repro.partitioning.workload import (
+    PREDICATE_KINDS,
+    Predicate,
+    Workload,
+)
+
+
+@dataclass
+class Recommendation:
+    """One actionable recompression: switch a container's algorithm."""
+
+    path: str
+    current: str
+    recommended: str
+    #: estimated total cost saving of applying just this switch to the
+    #: live configuration (singleton extraction — a lower bound, since
+    #: the full recommended configuration may also share models).
+    saving_total: float
+    saving_storage: float
+    saving_decompression: float
+    #: why the switch pays: predicate kinds newly evaluable in the
+    #: compressed domain, e.g. ``["eq"]``.
+    enables: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "current": self.current,
+            "recommended": self.recommended,
+            "saving_total": self.saving_total,
+            "saving_storage": self.saving_storage,
+            "saving_decompression": self.saving_decompression,
+            "enables": list(self.enables),
+        }
+
+
+@dataclass
+class DriftReport:
+    """Everything the observatory derives from one journal window."""
+
+    record_count: int
+    #: observed E/I/D predicate totals, by kind.
+    predicate_totals: dict[str, int]
+    #: merged per-container activity (scans/interval_searches/
+    #: record_reads and dynamic predicate-kind hits), every container.
+    container_activity: dict[str, dict[str, int]]
+    #: string-container paths the cost model analyzed.
+    analyzed_paths: list[str]
+    #: live-vs-recommended component costs (storage/models/
+    #: decompression/total), empty when nothing was analyzable.
+    live_breakdown: dict[str, float]
+    recommended_breakdown: dict[str, float]
+    #: per-container live/recommended algorithms and singleton-switch
+    #: cost deltas.
+    container_deltas: list[dict]
+    recommendations: list[Recommendation]
+
+    @property
+    def drift_total(self) -> float:
+        """How much the live configuration overpays, per cost model."""
+        if not self.live_breakdown:
+            return 0.0
+        return (self.live_breakdown["total"]
+                - self.recommended_breakdown["total"])
+
+    def hottest_containers(self, top_k: int | None = None
+                           ) -> list[tuple[str, dict[str, int]]]:
+        """Containers ranked by total observed accesses."""
+        ranked = sorted(
+            self.container_activity.items(),
+            key=lambda item: (-sum(item[1].get(op, 0)
+                                   for op in ACCESS_OPS), item[0]))
+        return ranked if top_k is None else ranked[:top_k]
+
+    def to_dict(self) -> dict:
+        """JSON-ready report document."""
+        return {
+            "record_count": self.record_count,
+            "predicate_totals": dict(
+                sorted(self.predicate_totals.items())),
+            "container_activity": {
+                path: dict(sorted(ops.items()))
+                for path, ops in
+                sorted(self.container_activity.items())},
+            "analyzed_paths": list(self.analyzed_paths),
+            "live_breakdown": dict(sorted(
+                self.live_breakdown.items())),
+            "recommended_breakdown": dict(sorted(
+                self.recommended_breakdown.items())),
+            "drift_total": self.drift_total,
+            "container_deltas": self.container_deltas,
+            "recommendations": [r.to_dict()
+                                for r in self.recommendations],
+        }
+
+
+def observed_workload(records: Sequence[WorkloadRecord]) -> Workload:
+    """Fold journal records into a §3.2 workload (E/I/D input).
+
+    Primary source is each record's statically extracted predicates
+    (they carry join structure).  A record without any — a query shape
+    the static extractor cannot resolve — falls back to the predicate
+    kinds the access paths reported dynamically per container, as
+    constant comparisons.
+    """
+    workload = Workload()
+    for record in records:
+        added = False
+        for predicate in record.predicates:
+            kind = predicate.get("kind")
+            left = predicate.get("left")
+            if kind not in PREDICATE_KINDS or not left:
+                continue
+            workload.add(Predicate(kind, left,
+                                   predicate.get("right") or None))
+            added = True
+        if added:
+            continue
+        for path, ops in record.containers.items():
+            for kind in PREDICATE_KINDS:
+                for _ in range(ops.get(kind, 0)):
+                    workload.add(Predicate(kind, path))
+    return workload
+
+
+def merged_activity(records: Sequence[WorkloadRecord]
+                    ) -> dict[str, dict[str, int]]:
+    """Sum per-container access/predicate counts across records."""
+    merged: dict[str, dict[str, int]] = {}
+    for record in records:
+        for path, ops in record.containers.items():
+            into = merged.setdefault(path, {})
+            for op, count in ops.items():
+                into[op] = into.get(op, 0) + count
+    return merged
+
+
+def live_configuration(repository) -> CompressionConfiguration:
+    """The configuration the repository actually runs.
+
+    Containers sealed with the *same codec object* share one source
+    model, i.e. form one §3.1 group; the group's algorithm is the
+    codec's registry name.
+    """
+    by_model: dict[int, list[str]] = {}
+    algorithm_of: dict[int, str] = {}
+    for container in repository.containers():
+        codec_id = id(container.codec)
+        by_model.setdefault(codec_id, []).append(container.path)
+        algorithm_of[codec_id] = container.codec.name
+    groups = [ContainerGroup(tuple(paths), algorithm_of[codec_id])
+              for codec_id, paths in sorted(
+                  by_model.items(),
+                  key=lambda item: item[1][0])]
+    return CompressionConfiguration(groups)
+
+
+def coerce_records(records: Sequence) -> list[WorkloadRecord]:
+    """Accept journal dicts or WorkloadRecord objects uniformly."""
+    return [record if isinstance(record, WorkloadRecord)
+            else WorkloadRecord.from_dict(record)
+            for record in records]
+
+
+def analyze_drift(repository, records: Sequence,
+                  algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                  seed: int = 0) -> DriftReport:
+    """Re-run the §3 cost model against the observed workload.
+
+    ``records`` is what :meth:`WorkloadJournal.records` returned (or a
+    list of :class:`WorkloadRecord`).  Returns the full drift report;
+    an empty journal yields an empty-but-valid report.
+    """
+    observations = coerce_records(records)
+    workload = observed_workload(observations)
+    activity = merged_activity(observations)
+    predicate_totals = {kind: 0 for kind in PREDICATE_KINDS}
+    for predicate in workload:
+        predicate_totals[predicate.kind] += 1
+
+    string_paths = {c.path for c in repository.containers()
+                    if c.value_type == "string"}
+    analyzed = sorted(workload.touched_paths() & string_paths)
+    if not analyzed:
+        return DriftReport(
+            record_count=len(observations),
+            predicate_totals=predicate_totals,
+            container_activity=activity,
+            analyzed_paths=[],
+            live_breakdown={},
+            recommended_breakdown={},
+            container_deltas=[],
+            recommendations=[],
+        )
+
+    profiles = [
+        ContainerProfile.from_values(
+            path, [v for _, v in
+                   repository.container(path).scan_decoded()])
+        for path in analyzed
+    ]
+    model = CostModel(profiles, workload)
+    live = _restrict(live_configuration(repository), analyzed)
+    live_breakdown = model.breakdown(live)
+    recommended, _ = greedy_search(profiles, workload,
+                                   algorithms=algorithms, seed=seed)
+    recommended_breakdown = model.breakdown(recommended)
+
+    deltas: list[dict] = []
+    recommendations: list[Recommendation] = []
+    for path in analyzed:
+        live_algorithm = live.algorithm_of(path)
+        recommended_algorithm = recommended.algorithm_of(path)
+        if live_algorithm is None or recommended_algorithm is None:
+            continue
+        switched = _with_path_extracted(live, path,
+                                        recommended_algorithm)
+        switched_breakdown = model.breakdown(switched)
+        saving_total = (live_breakdown["total"]
+                        - switched_breakdown["total"])
+        saving_storage = (
+            live_breakdown["storage"] + live_breakdown["models"]
+            - switched_breakdown["storage"]
+            - switched_breakdown["models"])
+        saving_decompression = (
+            live_breakdown["decompression"]
+            - switched_breakdown["decompression"])
+        deltas.append({
+            "path": path,
+            "live_algorithm": live_algorithm,
+            "recommended_algorithm": recommended_algorithm,
+            "saving_total": saving_total,
+            "saving_storage": saving_storage,
+            "saving_decompression": saving_decompression,
+        })
+        if recommended_algorithm != live_algorithm \
+                and saving_total > 0:
+            recommendations.append(Recommendation(
+                path=path,
+                current=live_algorithm,
+                recommended=recommended_algorithm,
+                saving_total=saving_total,
+                saving_storage=saving_storage,
+                saving_decompression=saving_decompression,
+                enables=_newly_enabled(path, workload, live_algorithm,
+                                       recommended_algorithm),
+            ))
+    recommendations.sort(key=lambda r: -r.saving_total)
+    return DriftReport(
+        record_count=len(observations),
+        predicate_totals=predicate_totals,
+        container_activity=activity,
+        analyzed_paths=analyzed,
+        live_breakdown=live_breakdown,
+        recommended_breakdown=recommended_breakdown,
+        container_deltas=deltas,
+        recommendations=recommendations,
+    )
+
+
+def _restrict(configuration: CompressionConfiguration,
+              paths: Sequence[str]) -> CompressionConfiguration:
+    """Drop containers outside ``paths`` (cost model scope)."""
+    keep = set(paths)
+    groups = []
+    for group in configuration.groups:
+        rest = tuple(p for p in group.container_paths if p in keep)
+        if rest:
+            groups.append(ContainerGroup(rest, group.algorithm))
+    return CompressionConfiguration(groups)
+
+
+def _with_path_extracted(configuration: CompressionConfiguration,
+                         path: str, algorithm: str
+                         ) -> CompressionConfiguration:
+    """One concrete move: recompress ``path`` alone under
+    ``algorithm``, leaving every other container untouched."""
+    groups = []
+    for group in configuration.groups:
+        rest = tuple(p for p in group.container_paths if p != path)
+        if rest:
+            groups.append(ContainerGroup(rest, group.algorithm))
+    groups.append(ContainerGroup((path,), algorithm))
+    return CompressionConfiguration(groups)
+
+
+def _newly_enabled(path: str, workload: Workload, live: str,
+                   recommended: str) -> list[str]:
+    """Predicate kinds observed on ``path`` that only the recommended
+    algorithm evaluates in the compressed domain."""
+    observed_kinds = {p.kind for p in workload if path in p.paths()}
+    return [kind for kind in PREDICATE_KINDS
+            if kind in observed_kinds
+            and not codec_class(live).properties.supports(kind)
+            and codec_class(recommended).properties.supports(kind)]

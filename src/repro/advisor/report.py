@@ -1,0 +1,82 @@
+"""Plain-text rendering of a :class:`~repro.advisor.drift.DriftReport`.
+
+Shared by ``repro workload report`` and the EXPLAIN ANALYZE "Workload
+drift" section, so both always agree on what the observatory says.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.drift import DriftReport
+from repro.obs.workload import ACCESS_OPS
+from repro.partitioning.workload import PREDICATE_KINDS
+
+
+def render_report(report: DriftReport,
+                  top_k: int | None = None) -> str:
+    """Human-readable observatory report, one string."""
+    lines: list[str] = []
+    lines.append("Workload observatory")
+    lines.append("=" * len(lines[-1]))
+    lines.append(f"journal records      {report.record_count}")
+    total_predicates = sum(report.predicate_totals.values())
+    kinds = "  ".join(
+        f"{kind}={report.predicate_totals.get(kind, 0)}"
+        for kind in PREDICATE_KINDS)
+    lines.append(f"observed predicates  {total_predicates}  ({kinds})")
+    lines.append(
+        f"containers touched   {len(report.container_activity)}")
+    if not report.record_count:
+        lines.append("")
+        lines.append("journal is empty; run queries with recording "
+                     "enabled first")
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append("Hottest containers")
+    lines.append("-" * len(lines[-1]))
+    for path, ops in report.hottest_containers(top_k):
+        accesses = sum(ops.get(op, 0) for op in ACCESS_OPS)
+        detail = " ".join(f"{op}={count}"
+                          for op, count in sorted(ops.items())
+                          if count)
+        lines.append(f"  {path}  accesses={accesses}  [{detail}]")
+
+    if report.live_breakdown:
+        lines.append("")
+        lines.append("Cost model: live vs recommended")
+        lines.append("-" * len(lines[-1]))
+        header = f"  {'':<12}{'storage':>12}{'models':>12}" \
+                 f"{'decompression':>15}{'total':>14}"
+        lines.append(header)
+        for label, breakdown in (
+                ("live", report.live_breakdown),
+                ("recommended", report.recommended_breakdown)):
+            lines.append(
+                f"  {label:<12}{breakdown['storage']:>12.1f}"
+                f"{breakdown['models']:>12.1f}"
+                f"{breakdown['decompression']:>15.1f}"
+                f"{breakdown['total']:>14.1f}")
+        lines.append(f"  {'drift':<12}{'':>12}{'':>12}{'':>15}"
+                     f"{report.drift_total:>14.1f}")
+
+    lines.append("")
+    lines.append("Recommendations")
+    lines.append("-" * len(lines[-1]))
+    recommendations = report.recommendations
+    if top_k is not None:
+        recommendations = recommendations[:top_k]
+    if not recommendations:
+        lines.append("  live configuration matches the observed "
+                     "workload; nothing to recompress")
+    for rank, rec in enumerate(recommendations, start=1):
+        lines.append(
+            f"  {rank}. recompress {rec.path}: "
+            f"{rec.current} -> {rec.recommended}  "
+            f"(est. saving {rec.saving_total:.1f}; "
+            f"storage {rec.saving_storage:+.1f}, "
+            f"decompression {rec.saving_decompression:+.1f})")
+        if rec.enables:
+            lines.append(
+                "     enables compressed-domain "
+                + ", ".join(rec.enables))
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Benchmark trajectory: per-query history persisted across runs.
+
+Each benchmark (or the standalone ``python -m repro.bench.trajectory``
+smoke run) appends one *point* per query to
+``benchmarks/results/BENCH_trajectory.json``: wall time, the share of
+comparisons evaluated in the compressed domain, and decompression
+counts.  Because the file accumulates across sessions, plotting it
+shows how the engine's §5 numbers move as the codebase evolves —
+regressions in either speed or compressed-domain coverage become a
+visible kink instead of a silently overwritten table.
+
+Writes are atomic (temp file + rename, like the workload journal), so
+concurrent benchmark processes can at worst lose a point, never corrupt
+the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.bench.reporting import RESULTS_DIR
+from repro.util.atomic import atomic_write_text
+
+#: the persistent trajectory file benchmarks append to.
+TRAJECTORY_PATH = RESULTS_DIR / "BENCH_trajectory.json"
+
+
+def load_trajectory(path: str | Path | None = None) -> list[dict]:
+    """All recorded points, oldest first ([] when absent/corrupt)."""
+    path = TRAJECTORY_PATH if path is None else Path(path)
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return []
+    points = document.get("points") if isinstance(document, dict) \
+        else None
+    if not isinstance(points, list):
+        return []
+    return [point for point in points if isinstance(point, dict)]
+
+
+def record_point(query: str, wall_s: float,
+                 compressed_ratio: float | None = None,
+                 decompressions: int = 0, experiment: str = "",
+                 items: int = 0,
+                 path: str | Path | None = None,
+                 ts: str | None = None) -> dict:
+    """Append one per-query measurement; returns the stored point."""
+    path = TRAJECTORY_PATH if path is None else Path(path)
+    point = {
+        "ts": ts if ts is not None
+        else datetime.now(timezone.utc).isoformat(),
+        "experiment": experiment,
+        "query": query,
+        "wall_s": wall_s,
+        "compressed_ratio": compressed_ratio,
+        "decompressions": decompressions,
+        "items": items,
+    }
+    points = load_trajectory(path) + [point]
+    atomic_write_text(path, json.dumps(
+        {"points": points}, indent=2, sort_keys=True) + "\n")
+    return point
+
+
+def point_from_workload_record(record, query: str,
+                               experiment: str = "",
+                               items: int = 0,
+                               path: str | Path | None = None) -> dict:
+    """Record a point straight from a journalled workload record.
+
+    ``record`` is a :class:`repro.obs.workload.WorkloadRecord` or its
+    journal dict; the point inherits its wall time, compressed-domain
+    ratio and decompression count, keeping the trajectory and the
+    observatory in exact agreement.
+    """
+    from repro.obs.workload import WorkloadRecord
+    if not isinstance(record, WorkloadRecord):
+        record = WorkloadRecord.from_dict(record)
+    return record_point(
+        query=query,
+        wall_s=record.wall_ns / 1e9,
+        compressed_ratio=record.compressed_ratio,
+        decompressions=record.counters.get("decompressions", 0),
+        experiment=experiment,
+        items=items,
+        path=path,
+        ts=record.ts or None)
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    """Standalone observatory smoke run (used by CI).
+
+    Generates a small XMark document, runs a few queries with workload
+    recording enabled, appends one trajectory point per query, and
+    prints where the journal and trajectory landed.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.trajectory",
+        description="run XMark queries with workload recording and "
+                    "append benchmark trajectory points")
+    parser.add_argument("--factor", type=float, default=0.01,
+                        help="XMark scale factor (default 0.01)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--queries", default="Q1,Q5,Q8",
+                        help="comma-separated XMark query ids")
+    parser.add_argument("--journal", type=Path, default=None,
+                        help="workload journal path (default: "
+                             "alongside the trajectory file)")
+    parser.add_argument("--trajectory", type=Path,
+                        default=TRAJECTORY_PATH,
+                        help="trajectory file (default: "
+                             "benchmarks/results/BENCH_trajectory"
+                             ".json)")
+    args = parser.parse_args(argv)
+
+    from repro.obs import WorkloadJournal, WorkloadRecorder
+    from repro.query.engine import QueryEngine
+    from repro.storage.loader import load_document
+    from repro.xmark.generator import generate_xmark
+    from repro.xmark.queries import query_text
+
+    journal_path = args.journal if args.journal is not None \
+        else args.trajectory.with_name("BENCH_workload.jsonl")
+    xml_text = generate_xmark(factor=args.factor, seed=args.seed)
+    repository = load_document(xml_text)
+    journal = WorkloadJournal(journal_path)
+    engine = QueryEngine(repository,
+                         recorder=WorkloadRecorder(journal))
+    for query_id in [q.strip() for q in args.queries.split(",")
+                     if q.strip()]:
+        start = time.perf_counter()
+        result = engine.execute(query_text(query_id))
+        items = len(result.items)
+        wall_s = time.perf_counter() - start
+        from repro.obs.workload import WorkloadRecord
+        [line] = journal.records()[-1:]
+        record = WorkloadRecord.from_dict(line)
+        # Journalled wall time excludes result materialization; the
+        # smoke point records the end-to-end time instead.
+        record_point(
+            query=query_id, wall_s=wall_s,
+            compressed_ratio=record.compressed_ratio,
+            decompressions=record.counters.get("decompressions", 0),
+            experiment="trajectory_smoke", items=items,
+            path=args.trajectory)
+        ratio = record.compressed_ratio
+        print(f"{query_id}: {items} items, {wall_s:.3f} s, "
+              f"compressed_ratio="
+              f"{'n/a' if ratio is None else f'{ratio:.2f}'}",
+              file=out)
+    print(f"journal: {journal_path} ({len(journal)} records)",
+          file=out)
+    print(f"trajectory: {args.trajectory} "
+          f"({len(load_trajectory(args.trajectory))} points)",
+          file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -22,9 +22,15 @@ compressed domain, decompression is deferred to serialization — is
   handle through every signature.
 """
 
+from repro.obs.journal import WorkloadJournal, default_journal_path
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import Span, Tracer
+from repro.obs.workload import (
+    WorkloadCapture,
+    WorkloadRecord,
+    WorkloadRecorder,
+)
 
 __all__ = [
     "Counter",
@@ -33,4 +39,9 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "WorkloadCapture",
+    "WorkloadJournal",
+    "WorkloadRecord",
+    "WorkloadRecorder",
+    "default_journal_path",
 ]

@@ -1,0 +1,101 @@
+"""The append-only workload journal: one JSONL line per query run.
+
+The :class:`~repro.obs.workload.WorkloadRecorder` serializes each
+finished :class:`~repro.obs.workload.WorkloadRecord` here; the advisor
+(:mod:`repro.advisor`) folds the journal back into observed E/I/D
+matrices for cost-model drift analysis.
+
+Writes are atomic: the journal is re-written through a temp file and
+``os.replace`` (:func:`repro.util.atomic.atomic_write_text`), so a
+query crashing mid-record can never truncate previously journalled
+history.  Reads tolerate a trailing partial line for journals written
+by foreign appenders.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.util.atomic import atomic_write_text
+
+#: journal filename suffix, appended to the repository file name.
+JOURNAL_SUFFIX = ".workload.jsonl"
+
+
+def default_journal_path(repository_path: str | Path) -> Path:
+    """The journal that rides along a repository file.
+
+    ``auction.xqc`` journals to ``auction.xqc.workload.jsonl`` in the
+    same directory, so shipping the repository directory ships its
+    observed workload too.
+    """
+    repository_path = Path(repository_path)
+    return repository_path.with_name(repository_path.name
+                                     + JOURNAL_SUFFIX)
+
+
+class WorkloadJournal:
+    """Append-only JSONL store of workload records.
+
+    Records are plain JSON-ready dicts (see
+    :meth:`repro.obs.workload.WorkloadRecord.to_dict`); the journal
+    itself is schema-agnostic so old journals stay readable as the
+    record grows fields.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def exists(self) -> bool:
+        """True when the journal file is present on disk."""
+        return self.path.exists()
+
+    def append(self, record: dict) -> None:
+        """Append one record atomically (temp file + rename).
+
+        The whole journal is staged — current content plus the new
+        line — and renamed over the target, so readers never observe a
+        torn line and a crash preserves everything already journalled.
+        """
+        line = json.dumps(record, sort_keys=True, default=str)
+        existing = ""
+        if self.path.exists():
+            existing = self.path.read_text(encoding="utf-8")
+            if existing and not existing.endswith("\n"):
+                existing += "\n"
+        atomic_write_text(self.path, existing + line + "\n")
+
+    def records(self, since: str | None = None) -> list[dict]:
+        """All journalled records, oldest first.
+
+        ``since`` (an ISO-8601 timestamp string) keeps only records
+        whose ``ts`` compares greater-or-equal — ISO timestamps order
+        lexicographically, so no datetime parsing is needed.
+        Unparseable lines (e.g. a torn tail from a foreign appender)
+        are skipped, never fatal.
+        """
+        if not self.path.exists():
+            return []
+        out: list[dict] = []
+        for line in self.path.read_text(
+                encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if since is not None and record.get("ts", "") < since:
+                continue
+            out.append(record)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<WorkloadJournal {str(self.path)!r}>"

@@ -20,6 +20,16 @@ class Counter:
         self.value = value
 
     def add(self, n: int = 1) -> None:
+        """Increment by ``n`` (counters only ever count *up*).
+
+        A negative increment is always a caller bug — a counter that
+        can go down silently corrupts every ratio derived from it — so
+        it raises instead of clamping.
+        """
+        if n < 0:
+            raise ValueError(
+                f"counter {self.name!r}: negative increment {n} "
+                "(counters are monotonic)")
         self.value += n
 
     def __repr__(self) -> str:
@@ -51,9 +61,21 @@ class Histogram:
         return sum(self.values)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile (``p`` in [0, 100]); 0.0 if empty."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        Both an out-of-range ``p`` and an empty histogram raise: a
+        fabricated 0.0 would read as "this operator was instant" in a
+        report.  (:meth:`summary` stays total — it marks emptiness
+        with an explicit ``count: 0`` row instead.)
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(
+                f"histogram {self.name!r}: percentile {p!r} outside "
+                "[0, 100]")
         if not self.values:
-            return 0.0
+            raise ValueError(
+                f"histogram {self.name!r} is empty: no observations "
+                "to take a percentile of")
         ordered = sorted(self.values)
         rank = max(0, min(len(ordered) - 1,
                           round(p / 100.0 * (len(ordered) - 1))))

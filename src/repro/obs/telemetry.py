@@ -39,9 +39,14 @@ class Telemetry:
 
     def operator_profile(self) -> dict[str, dict]:
         """Per-operator {count, total_ns, p50, p95, max} from the
-        ``span.*`` histograms (names without the prefix)."""
+        ``span.*`` histograms (names without the prefix).
+
+        Insertion order is the sorted operator name, independent of
+        span-open order, so exported documents are stable across runs
+        of the same plan.
+        """
         profile: dict[str, dict] = {}
-        for name, summary in self.metrics.histograms().items():
+        for name, summary in sorted(self.metrics.histograms().items()):
             if name.startswith("span."):
                 profile[name[len("span."):]] = summary
         return profile

@@ -134,12 +134,16 @@ class QueryEngine:
     def __init__(self, repository: CompressedRepository,
                  collection: dict[str, CompressedRepository]
                  | None = None, telemetry_enabled: bool = False,
-                 verify_plans: bool = True):
+                 verify_plans: bool = True, recorder=None):
         self.repository = repository
         self.collection = collection or {}
         #: when True, every ``execute`` records spans and histograms;
         #: counters are always kept (they back ``QueryResult.stats``).
         self.telemetry_enabled = telemetry_enabled
+        #: optional :class:`~repro.obs.workload.WorkloadRecorder`;
+        #: when attached and enabled, every ``execute`` appends one
+        #: observation to its workload journal.
+        self.recorder = recorder
         #: when True, the Tier-A plan verifier gates every ``execute``:
         #: error diagnostics raise
         #: :class:`~repro.errors.PlanVerificationError` before any row
@@ -190,14 +194,22 @@ class QueryEngine:
                 telemetry.metrics.add(f"lint.{diagnostic.severity}")
         evaluator = _Evaluator(self.repository, self._fulltext_indexes,
                                self.collection, telemetry=telemetry)
-        if not telemetry.enabled:
-            items = evaluator.eval(ast, {})
-        else:
-            query_text = query if isinstance(query, str) else \
-                type(ast).__name__
+        query_text = query if isinstance(query, str) else \
+            type(ast).__name__
+
+        def run() -> list:
+            if not telemetry.enabled:
+                return evaluator.eval(ast, {})
             with runtime.activated(telemetry):
                 with telemetry.span("Execute", query=query_text):
-                    items = evaluator.eval(ast, {})
+                    return evaluator.eval(ast, {})
+
+        if self.recorder is not None and self.recorder.enabled:
+            with self.recorder.capture(query_text, ast,
+                                       self.repository, telemetry):
+                items = run()
+        else:
+            items = run()
         return QueryResult(items, evaluator.stats, self,
                            telemetry=telemetry)
 
@@ -571,6 +583,12 @@ class _Evaluator:
                 # cannot answer it — fall back to plain evaluation.
                 return None
             self.stats.container_accesses += 1
+            if runtime.RECORDER is not None:
+                runtime.RECORDER.record_predicate(
+                    leaf.container_path,
+                    _interval_kind(plan.low, plan.high,
+                                   plan.low_inclusive,
+                                   plan.high_inclusive))
             for parent_id, _ in container.interval_search(
                     plan.low, plan.high, plan.low_inclusive,
                     plan.high_inclusive):
@@ -900,6 +918,15 @@ class _JoinIndex:
 
     def lookup(self, key: str) -> list:
         return self._buckets.get(key, [])
+
+
+def _interval_kind(low, high, low_inclusive: bool,
+                   high_inclusive: bool) -> str:
+    """E/I/D kind of an interval probe: a point probe is ``eq``."""
+    if low is not None and low == high and low_inclusive \
+            and high_inclusive:
+        return "eq"
+    return "ineq"
 
 
 def _summary_step(step: Step) -> tuple[str, str]:

@@ -144,6 +144,10 @@ class ContAccess(Operator):
         codec = container.codec
         value_type = container.value_type
         low, high, low_inc, high_inc = self._interval
+        if runtime.RECORDER is not None:
+            kind = "eq" if (low is not None and low == high
+                            and low_inc and high_inc) else "ineq"
+            runtime.RECORDER.record_predicate(container.path, kind)
         for parent_id, compressed in container.interval_search(
                 low, high, low_inc, high_inc):
             yield {self._id_column: NodeItem(parent_id),

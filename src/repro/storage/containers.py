@@ -175,6 +175,8 @@ class ValueContainer:
         self._require_sealed()
         if runtime.ACTIVE is not None:
             runtime.add("container.scans")
+        if runtime.RECORDER is not None:
+            runtime.RECORDER.record_access(self.path, "scans")
         if self._blob is not None:
             assert self._blob_values is not None
             assert self._blob_parents is not None
@@ -203,6 +205,8 @@ class ValueContainer:
         self._require_sealed()
         if runtime.ACTIVE is not None:
             runtime.add("container.record_reads")
+        if runtime.RECORDER is not None:
+            runtime.RECORDER.record_access(self.path, "record_reads")
         if self._blob is not None:
             assert self._blob_values is not None
             assert self._blob_parents is not None
@@ -217,6 +221,8 @@ class ValueContainer:
         self._require_sealed()
         if runtime.ACTIVE is not None:
             runtime.add("container.record_reads")
+        if runtime.RECORDER is not None:
+            runtime.RECORDER.record_access(self.path, "record_reads")
         if self._blob is not None:
             assert self._blob_values is not None
             return self._blob_values[index]
@@ -236,6 +242,9 @@ class ValueContainer:
         self._require_sealed()
         if runtime.ACTIVE is not None:
             runtime.add("container.interval_searches")
+        if runtime.RECORDER is not None:
+            runtime.RECORDER.record_access(self.path,
+                                           "interval_searches")
         if self._blob is not None:
             # XMill-style chunk: no random access; filter a full scan.
             key = self._compare_key

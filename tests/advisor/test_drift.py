@@ -1,0 +1,171 @@
+"""Tests for the cost-model drift analyzer."""
+
+import pytest
+
+from repro.advisor import (
+    analyze_drift,
+    live_configuration,
+    merged_activity,
+    observed_workload,
+    render_report,
+)
+from repro.obs.journal import WorkloadJournal
+from repro.obs.workload import WorkloadRecord, WorkloadRecorder
+from repro.partitioning.config import (
+    CompressionConfiguration,
+    ContainerGroup,
+)
+from repro.query.engine import QueryEngine
+from repro.storage.loader import load_document
+
+XML = "<site><people>%s</people></site>" % "".join(
+    f"<person><name>Person {i:03d}</name><age>{20 + i % 40}</age>"
+    "</person>" for i in range(40))
+
+NAME_PATH = "/site/people/person/name/#text"
+AGE_PATH = "/site/people/person/age/#text"
+
+EQ_QUERY = ('for $p in /site/people/person '
+            'where $p/name/text() = "Person 007" '
+            'return $p/name/text()')
+
+
+def _record(kind: str, path: str = NAME_PATH) -> WorkloadRecord:
+    return WorkloadRecord(
+        query="q", ts="2026-01-01T00:00:00", wall_ns=1,
+        containers={path: {kind: 1, "interval_searches": 1}},
+        predicates=[{"kind": kind, "left": path, "right": None}])
+
+
+@pytest.fixture
+def misconfigured():
+    """Repository whose hot string container is a bzip2 blob."""
+    return load_document(XML, configuration=CompressionConfiguration(
+        [ContainerGroup((NAME_PATH,), "bzip2")]))
+
+
+class TestObservedWorkload:
+    def test_static_predicates_win(self):
+        workload = observed_workload([_record("eq")])
+        assert len(workload) == 1
+        [predicate] = workload
+        assert predicate.kind == "eq"
+        assert predicate.left_path == NAME_PATH
+
+    def test_dynamic_fallback_when_no_static(self):
+        record = WorkloadRecord(
+            query="q", ts="", wall_ns=1,
+            containers={NAME_PATH: {"ineq": 2, "record_reads": 5}})
+        workload = observed_workload([record])
+        kinds = [p.kind for p in workload]
+        assert kinds == ["ineq", "ineq"]
+
+    def test_malformed_predicates_skipped(self):
+        record = WorkloadRecord(
+            query="q", ts="", wall_ns=1,
+            predicates=[{"kind": "bogus", "left": NAME_PATH},
+                        {"kind": "eq", "left": ""}])
+        assert len(observed_workload([record])) == 0
+
+
+class TestMergedActivity:
+    def test_sums_across_records(self):
+        merged = merged_activity([_record("eq"), _record("eq")])
+        assert merged[NAME_PATH]["eq"] == 2
+        assert merged[NAME_PATH]["interval_searches"] == 2
+
+
+class TestLiveConfiguration:
+    def test_reflects_forced_algorithm(self, misconfigured):
+        configuration = live_configuration(misconfigured)
+        assert configuration.algorithm_of(NAME_PATH) == "bzip2"
+        assert configuration.algorithm_of(AGE_PATH) == "integer"
+
+    def test_default_load_uses_alm_strings(self):
+        configuration = live_configuration(load_document(XML))
+        assert configuration.algorithm_of(NAME_PATH) == "alm"
+
+    def test_groups_cover_each_container_once(self, misconfigured):
+        configuration = live_configuration(misconfigured)
+        assert sorted(configuration.paths()) == sorted(
+            c.path for c in misconfigured.containers())
+
+
+class TestAnalyzeDrift:
+    def test_empty_journal_is_valid_report(self, misconfigured):
+        report = analyze_drift(misconfigured, [])
+        assert report.record_count == 0
+        assert report.recommendations == []
+        assert report.drift_total == 0.0
+
+    def test_recommends_recompressing_blob_container(
+            self, misconfigured):
+        report = analyze_drift(misconfigured,
+                               [_record("eq"), _record("ineq")])
+        assert NAME_PATH in report.analyzed_paths
+        assert report.drift_total > 0
+        [rec, *_] = report.recommendations
+        assert rec.path == NAME_PATH
+        assert rec.current == "bzip2"
+        assert rec.recommended == "alm"
+        assert rec.saving_total > 0
+        assert "eq" in rec.enables
+
+    def test_well_configured_repository_no_recommendation(self):
+        repository = load_document(XML)
+        report = analyze_drift(repository, [_record("eq"),
+                                            _record("ineq")])
+        assert report.recommendations == []
+
+    def test_numeric_containers_not_analyzed(self, misconfigured):
+        report = analyze_drift(misconfigured,
+                               [_record("eq", path=AGE_PATH)])
+        assert report.analyzed_paths == []
+
+    def test_accepts_journal_dicts(self, misconfigured):
+        dicts = [_record("eq").to_dict()]
+        report = analyze_drift(misconfigured, dicts)
+        assert report.record_count == 1
+        assert NAME_PATH in report.analyzed_paths
+
+    def test_to_dict_is_json_ready(self, misconfigured):
+        import json
+        report = analyze_drift(misconfigured, [_record("eq")])
+        document = json.loads(json.dumps(report.to_dict()))
+        assert document["record_count"] == 1
+        assert document["drift_total"] == pytest.approx(
+            report.drift_total)
+
+
+class TestEndToEnd:
+    def test_recorded_queries_drive_recommendation(
+            self, misconfigured, tmp_path):
+        journal = WorkloadJournal(tmp_path / "j.workload.jsonl")
+        engine = QueryEngine(misconfigured,
+                             recorder=WorkloadRecorder(journal))
+        for _ in range(3):
+            engine.execute(EQ_QUERY)
+        report = analyze_drift(misconfigured, journal.records())
+        assert report.record_count == 3
+        assert report.recommendations
+        assert report.recommendations[0].path == NAME_PATH
+
+
+class TestRenderReport:
+    def test_mentions_container_and_recommendation(
+            self, misconfigured):
+        report = analyze_drift(misconfigured, [_record("eq")])
+        text = render_report(report)
+        assert "Workload observatory" in text
+        assert NAME_PATH in text
+        assert "bzip2 -> alm" in text
+
+    def test_empty_journal_message(self, misconfigured):
+        text = render_report(analyze_drift(misconfigured, []))
+        assert "journal is empty" in text
+
+    def test_top_k_limits_containers(self, misconfigured):
+        records = [_record("eq"), _record("eq", path=AGE_PATH)]
+        report = analyze_drift(misconfigured, records)
+        text = render_report(report, top_k=1)
+        assert text.count("accesses=") == 1

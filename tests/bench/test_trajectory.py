@@ -1,0 +1,96 @@
+"""Tests for the persistent benchmark trajectory tracker."""
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    load_trajectory,
+    main,
+    point_from_workload_record,
+    record_point,
+)
+from repro.obs.workload import WorkloadRecord
+
+
+@pytest.fixture
+def trajectory(tmp_path):
+    return tmp_path / "BENCH_trajectory.json"
+
+
+class TestRecordPoint:
+    def test_appends_points(self, trajectory):
+        record_point("Q1", 0.5, compressed_ratio=0.9,
+                     decompressions=3, experiment="e",
+                     path=trajectory, ts="2026-01-01T00:00:00")
+        record_point("Q2", 0.1, path=trajectory,
+                     ts="2026-01-01T00:00:01")
+        points = load_trajectory(trajectory)
+        assert [p["query"] for p in points] == ["Q1", "Q2"]
+        assert points[0]["wall_s"] == 0.5
+        assert points[0]["compressed_ratio"] == 0.9
+        assert points[0]["decompressions"] == 3
+
+    def test_file_is_json_document(self, trajectory):
+        record_point("Q1", 0.5, path=trajectory, ts="t")
+        document = json.loads(trajectory.read_text())
+        assert isinstance(document["points"], list)
+
+    def test_atomic_no_temp_left_behind(self, trajectory):
+        record_point("Q1", 0.5, path=trajectory, ts="t")
+        leftovers = [p for p in trajectory.parent.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestLoadTrajectory:
+    def test_missing_file(self, trajectory):
+        assert load_trajectory(trajectory) == []
+
+    def test_corrupt_file(self, trajectory):
+        trajectory.write_text("{not json")
+        assert load_trajectory(trajectory) == []
+
+    def test_foreign_document_shape(self, trajectory):
+        trajectory.write_text(json.dumps([1, 2]))
+        assert load_trajectory(trajectory) == []
+
+
+class TestPointFromWorkloadRecord:
+    def test_inherits_record_measurements(self, trajectory):
+        record = WorkloadRecord(
+            query="q", ts="2026-01-01T00:00:00", wall_ns=2_000_000,
+            counters={"compressed_comparisons": 3,
+                      "decompressed_comparisons": 1,
+                      "decompressions": 7})
+        point = point_from_workload_record(record, query="Q1",
+                                           experiment="e",
+                                           path=trajectory)
+        assert point["wall_s"] == pytest.approx(0.002)
+        assert point["compressed_ratio"] == pytest.approx(0.75)
+        assert point["decompressions"] == 7
+        assert point["ts"] == "2026-01-01T00:00:00"
+        assert load_trajectory(trajectory) == [point]
+
+    def test_accepts_journal_dict(self, trajectory):
+        record = WorkloadRecord(query="q", ts="t", wall_ns=1_000,
+                                counters={"decompressions": 2})
+        point = point_from_workload_record(record.to_dict(),
+                                           query="Q2",
+                                           path=trajectory)
+        assert point["decompressions"] == 2
+
+
+class TestMain:
+    def test_smoke_run_writes_journal_and_points(self, tmp_path,
+                                                 capsys):
+        trajectory = tmp_path / "BENCH_trajectory.json"
+        journal = tmp_path / "journal.jsonl"
+        rc = main(["--factor", "0.002", "--queries", "Q1,Q5",
+                   "--journal", str(journal),
+                   "--trajectory", str(trajectory)])
+        assert rc == 0
+        assert journal.exists()
+        points = load_trajectory(trajectory)
+        assert [p["query"] for p in points] == ["Q1", "Q5"]
+        assert all(p["wall_s"] > 0 for p in points)

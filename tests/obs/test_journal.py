@@ -1,0 +1,79 @@
+"""Tests for the append-only workload journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.journal import (
+    JOURNAL_SUFFIX,
+    WorkloadJournal,
+    default_journal_path,
+)
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return WorkloadJournal(tmp_path / "doc.workload.jsonl")
+
+
+class TestAppend:
+    def test_appends_one_line_per_record(self, journal):
+        journal.append({"query": "q1", "ts": "2026-01-01T00:00:00"})
+        journal.append({"query": "q2", "ts": "2026-01-02T00:00:00"})
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["query"] == "q1"
+
+    def test_lines_have_sorted_keys(self, journal):
+        journal.append({"zeta": 1, "alpha": 2})
+        line = journal.path.read_text().splitlines()[0]
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_write_is_atomic_no_temp_left_behind(self, journal):
+        journal.append({"query": "q"})
+        siblings = os.listdir(journal.path.parent)
+        assert not [name for name in siblings
+                    if name.endswith(".tmp")]
+
+    def test_len_and_exists(self, journal):
+        assert not journal.exists()
+        assert len(journal) == 0
+        journal.append({"query": "q"})
+        assert journal.exists()
+        assert len(journal) == 1
+
+
+class TestRecords:
+    def test_roundtrip(self, journal):
+        journal.append({"query": "q", "wall_ns": 5})
+        records = list(journal.records())
+        assert records == [{"query": "q", "wall_ns": 5}]
+
+    def test_skips_blank_and_garbage_lines(self, journal):
+        journal.append({"query": "good"})
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write("\n{not json}\n[1, 2]\n")
+        journal.append({"query": "also good"})
+        queries = [r["query"] for r in journal.records()]
+        assert queries == ["good", "also good"]
+
+    def test_since_filters_lexicographically(self, journal):
+        journal.append({"query": "old", "ts": "2026-01-01T00:00:00"})
+        journal.append({"query": "new", "ts": "2026-06-01T00:00:00"})
+        queries = [r["query"] for r in
+                   journal.records(since="2026-03-01")]
+        assert queries == ["new"]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        journal = WorkloadJournal(tmp_path / "absent.jsonl")
+        assert list(journal.records()) == []
+
+
+class TestDefaultPath:
+    def test_sibling_with_suffix(self, tmp_path):
+        repository = tmp_path / "auction.xqrepo"
+        path = default_journal_path(repository)
+        assert path.parent == tmp_path
+        assert path.name == "auction.xqrepo" + JOURNAL_SUFFIX

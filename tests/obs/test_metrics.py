@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
 
@@ -19,7 +21,6 @@ class TestHistogram:
         hist = Histogram("h")
         assert hist.summary() == {"count": 0, "total": 0.0, "p50": 0.0,
                                   "p95": 0.0, "max": 0.0}
-        assert hist.percentile(50) == 0.0
 
     def test_nearest_rank_percentiles(self):
         hist = Histogram("h")
@@ -82,3 +83,39 @@ class TestMetricsRegistry:
         one, two = MetricsRegistry(), MetricsRegistry()
         one.add("x", 7)
         assert two.counters() == {}
+
+
+class TestGuards:
+    def test_negative_counter_increment_raises(self):
+        cell = Counter("hits")
+        with pytest.raises(ValueError, match="monotonic"):
+            cell.add(-1)
+        assert cell.value == 0  # the bad increment did not land
+
+    def test_registry_add_negative_raises(self):
+        registry = MetricsRegistry()
+        registry.add("hits", 2)
+        with pytest.raises(ValueError, match="hits"):
+            registry.add("hits", -2)
+        assert registry.counter("hits").value == 2
+
+    def test_zero_increment_allowed(self):
+        cell = Counter("hits")
+        cell.add(0)
+        assert cell.value == 0
+
+    def test_empty_histogram_percentile_raises(self):
+        hist = Histogram("lat")
+        with pytest.raises(ValueError, match="empty"):
+            hist.percentile(50)
+
+    def test_percentile_out_of_range_raises(self):
+        hist = Histogram("lat")
+        hist.observe(1.0)
+        for bad in (-0.1, 100.1, 1000):
+            with pytest.raises(ValueError, match=r"\[0, 100\]"):
+                hist.percentile(bad)
+
+    def test_error_names_the_metric(self):
+        with pytest.raises(ValueError, match="span.ContAccess"):
+            Histogram("span.ContAccess").percentile(95)

@@ -99,3 +99,45 @@ class TestRuntimeActivation:
     def test_helpers_are_silent_when_inactive(self):
         runtime.add("nothing")  # must not raise, must not record
         assert runtime.ACTIVE is None
+
+
+class TestDeterministicExport:
+    def test_json_keys_sorted_at_every_level(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.metrics.add("zeta", 1)
+        telemetry.metrics.add("alpha", 2)
+        with telemetry.span("B"):
+            pass
+        with telemetry.span("A"):
+            pass
+        text = telemetry.to_json()
+        doc = json.loads(text)
+        assert list(doc) == sorted(doc)
+        assert list(doc["metrics"]["counters"]) == ["alpha", "zeta"]
+        assert list(doc["operators"]) == ["A", "B"]
+
+    def test_operator_profile_order_independent_of_span_order(self):
+        def run(names):
+            telemetry = Telemetry(enabled=True)
+            for name in names:
+                with telemetry.span(name):
+                    pass
+            return list(telemetry.operator_profile())
+
+        assert run(["C", "A", "B"]) == run(["B", "C", "A"]) \
+            == ["A", "B", "C"]
+
+    def test_identical_runs_export_identically(self):
+        def run():
+            telemetry = Telemetry(enabled=False)
+            telemetry.metrics.add("decompressions", 5)
+            telemetry.metrics.observe("span.Select", 100.0)
+            return telemetry.to_json(indent=2)
+
+        assert run() == run()
+
+    def test_default_str_keeps_foreign_values_serializable(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("Op", where=object()):
+            pass
+        json.loads(telemetry.to_json())  # must not raise
