@@ -39,6 +39,13 @@ def xquec_default(xmark_text) -> XQueCSystem:
 
 
 @pytest.fixture(scope="session")
+def xquec_session(xquec_system):
+    """The workload-tuned system's serving session (plan + block
+    caches shared by every bench that uses it)."""
+    return xquec_system.session
+
+
+@pytest.fixture(scope="session")
 def galax_engine(xmark_text) -> GalaxEngine:
     return GalaxEngine(xmark_text)
 

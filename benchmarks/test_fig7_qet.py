@@ -29,6 +29,7 @@ from repro.bench.trajectory import (
 )
 from repro.obs import runtime
 from repro.obs.telemetry import Telemetry
+from repro.query.options import ExecutionOptions
 from repro.xmark.queries import (
     FIGURE7_QUERIES,
     JOIN_QUERIES,
@@ -51,8 +52,9 @@ def test_xquec_qet(benchmark, query_id, xquec_system, galax_engine,
     telemetry = Telemetry(enabled=True)
     start = time.perf_counter()
     with runtime.activated(telemetry):
-        xquec_system.query(query_text(query_id),
-                           telemetry=telemetry).to_xml()
+        xquec_system.query(
+            query_text(query_id),
+            ExecutionOptions(telemetry=telemetry)).to_xml()
     wall_s = time.perf_counter() - start
     telemetry_sink(telemetry, experiment=f"fig7_{query_id.lower()}")
     counters = telemetry.metrics.counters()

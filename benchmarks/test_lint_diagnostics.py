@@ -15,6 +15,7 @@ import pytest
 
 from repro.obs import runtime
 from repro.obs.telemetry import Telemetry
+from repro.query.options import ExecutionOptions
 from repro.xmark.queries import query_text
 
 #: one cheap path query, one range query, one value join.
@@ -26,8 +27,9 @@ def test_diagnostics_persisted_with_telemetry(query_id, xquec_system,
                                               telemetry_sink):
     telemetry = Telemetry(enabled=True)
     with runtime.activated(telemetry):
-        xquec_system.query(query_text(query_id),
-                           telemetry=telemetry).to_xml()
+        xquec_system.query(
+            query_text(query_id),
+            ExecutionOptions(telemetry=telemetry)).to_xml()
     document = telemetry.to_dict()
     assert "diagnostics" in document
     # The gate raises on errors before execution, so a run that got
@@ -45,7 +47,8 @@ def test_lint_counters_match_diagnostics(xquec_system):
     telemetry = Telemetry(enabled=True)
     with runtime.activated(telemetry):
         xquec_system.query(query_text("Q3"),
-                           telemetry=telemetry).to_xml()
+                           ExecutionOptions(telemetry=telemetry)
+                           ).to_xml()
     counters = telemetry.metrics.counters()
     for severity in ("warning", "info"):
         expected = sum(d.severity == severity

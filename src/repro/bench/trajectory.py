@@ -121,8 +121,8 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                              ".json)")
     args = parser.parse_args(argv)
 
-    from repro.obs import WorkloadJournal, WorkloadRecorder
-    from repro.query.engine import QueryEngine
+    from repro.obs import WorkloadJournal
+    from repro.service.session import Session
     from repro.storage.loader import load_document
     from repro.xmark.generator import generate_xmark
     from repro.xmark.queries import query_text
@@ -132,12 +132,11 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     xml_text = generate_xmark(factor=args.factor, seed=args.seed)
     repository = load_document(xml_text)
     journal = WorkloadJournal(journal_path)
-    engine = QueryEngine(repository,
-                         recorder=WorkloadRecorder(journal))
+    session = Session(repository, journal=journal)
     for query_id in [q.strip() for q in args.queries.split(",")
                      if q.strip()]:
         start = time.perf_counter()
-        result = engine.execute(query_text(query_id))
+        result = session.execute(query_text(query_id))
         items = len(result.items)
         wall_s = time.perf_counter() - start
         from repro.obs.workload import WorkloadRecord

@@ -25,13 +25,12 @@ from repro.core.system import XQueCSystem
 from repro.errors import XQueCError
 from repro.obs import runtime
 from repro.obs.telemetry import Telemetry
-from repro.query.analyze import explain_analyze
-from repro.query.context import EvaluationStats
 from repro.query.engine import QueryEngine
+from repro.query.options import ExecutionOptions
+from repro.service.session import Session
 from repro.storage.loader import load_document
 from repro.storage.serialization import load_repository, save_repository
 from repro.xmark.generator import generate_xmark
-from repro.xmlio.writer import serialize
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,12 +181,13 @@ def _cmd_compress(args, out) -> int:
 
 def _cmd_query(args, out) -> int:
     repository = load_repository(args.repository)
-    engine = QueryEngine(repository,
-                         recorder=_recorder_for(args))
+    # One session — and therefore one recorder with one journal
+    # handle — per CLI invocation, however many runs it performs.
+    session = Session(repository, recorder=_recorder_for(args))
     if args.analyze:
         from repro.errors import PlanVerificationError
         try:
-            report = explain_analyze(args.xquery, engine)
+            report = session.analyze(args.xquery)
         except PlanVerificationError as exc:
             # Surface what the verifier found instead of masking the
             # failure behind a bare error line — and exit non-zero.
@@ -203,9 +203,9 @@ def _cmd_query(args, out) -> int:
                         for d in report.telemetry.diagnostics) else 0
     if args.explain:
         print("# plan:", file=out)
-        for line in engine.explain(args.xquery).splitlines():
+        for line in session.explain(args.xquery).splitlines():
             print(f"#   {line}", file=out)
-    result = engine.execute(args.xquery)
+    result = session.execute(args.xquery)
     print(result.to_xml(), file=out)
     if args.stats:
         stats = result.stats
@@ -257,11 +257,12 @@ def _cmd_workload(args, out) -> int:
 
 def _cmd_trace(args, out) -> int:
     repository = load_repository(args.repository)
-    engine = QueryEngine(repository)
+    session = Session(repository)
     telemetry = Telemetry(enabled=True)
     with runtime.activated(telemetry):
         with telemetry.span("Query", query=args.xquery):
-            result = engine.execute(args.xquery, telemetry=telemetry)
+            result = session.execute(
+                args.xquery, ExecutionOptions(telemetry=telemetry))
             result.items  # force the final Decompress step
     text = telemetry.to_json(indent=args.indent or None)
     if args.output is not None:
@@ -345,9 +346,7 @@ def _print_container_table(repository, out) -> None:
 
 def _cmd_decompress(args, out) -> int:
     repository = load_repository(args.repository)
-    engine = QueryEngine(repository)
-    element = engine.materialize_node(0, EvaluationStats())
-    text = serialize(element)
+    text = Session(repository).decompress()
     if args.output is not None:
         args.output.write_text(text, encoding="utf-8")
     else:

@@ -36,22 +36,38 @@ from repro.query.ast import (
     NumberLiteral,
     VarRef,
 )
-from repro.query.engine import QueryEngine, QueryResult
+from repro.query.engine import QueryResult
+from repro.query.options import ExecutionOptions, coerce_options
 from repro.query.parser import parse_query
 from repro.storage.loader import load_document
 from repro.storage.repository import CompressedRepository, SizeReport
 
 
 class XQueCSystem:
-    """A loaded, compressed, queryable XML document."""
+    """A loaded, compressed, queryable XML document.
+
+    Query evaluation goes through an internal serving
+    :class:`~repro.service.session.Session`, so repeated queries hit
+    the prepared-plan cache and the decoded-block cache; the session
+    (and its metrics registry with the ``cache.*`` counters) is exposed
+    as :attr:`session`.
+    """
 
     def __init__(self, repository: CompressedRepository,
                  configuration: CompressionConfiguration | None = None,
-                 workload: Workload | None = None):
+                 workload: Workload | None = None,
+                 collection: dict[str, CompressedRepository]
+                 | None = None):
+        from repro.service.session import Session
         self.repository = repository
         self.configuration = configuration
         self.workload = workload
-        self._engine = QueryEngine(repository)
+        self.session = Session(repository, collection)
+
+    @property
+    def _engine(self):
+        """The session's engine (kept for existing internal callers)."""
+        return self.session.engine
 
     # -- loading -------------------------------------------------------------
 
@@ -126,33 +142,41 @@ class XQueCSystem:
                         for name, text in documents.items()}
         default_name = default if default is not None \
             else next(iter(documents))
-        system = cls(repositories[default_name])
-        system._engine = QueryEngine(repositories[default_name],
-                                     collection=repositories)
-        return system
+        return cls(repositories[default_name],
+                   collection=repositories)
 
     # -- querying --------------------------------------------------------------
 
     def query(self, query_text: str | Expression,
-              telemetry=None) -> QueryResult:
+              options: ExecutionOptions | None = None,
+              **legacy) -> QueryResult:
         """Evaluate a query over the compressed repository.
 
-        Pass a :class:`repro.obs.telemetry.Telemetry` to capture the
-        run's spans and counters.
+        ``options`` is an
+        :class:`~repro.query.options.ExecutionOptions`; the legacy
+        ``telemetry=`` keyword still works behind a
+        ``DeprecationWarning``.  Runs go through the internal session,
+        so re-running a query hits the plan cache.
         """
-        return self._engine.execute(query_text, telemetry=telemetry)
+        options = coerce_options(options, legacy, "XQueCSystem.query")
+        return self.session.execute(query_text, options)
+
+    def prepare(self, query_text: str | Expression):
+        """Parse + verify once; returns a re-runnable
+        :class:`~repro.service.session.PreparedQuery`."""
+        return self.session.prepare(query_text)
 
     def explain(self, query_text: str | Expression) -> str:
         """Describe the evaluation strategy without running the query."""
-        return self._engine.explain(query_text)
+        return self.session.explain(query_text)
 
     def explain_analyze(self, query_text: str | Expression) -> str:
         """Run the query and render the plan with actual counts."""
-        return self._engine.explain_analyze(query_text)
+        return self.session.explain_analyze(query_text)
 
     def build_fulltext_index(self, container_path: str):
         """Register a §6 full-text index on one container."""
-        return self._engine.build_fulltext_index(container_path)
+        return self.session.build_fulltext_index(container_path)
 
     # -- accounting -------------------------------------------------------------
 

@@ -5,19 +5,24 @@ finished :class:`~repro.obs.workload.WorkloadRecord` here; the advisor
 (:mod:`repro.advisor`) folds the journal back into observed E/I/D
 matrices for cost-model drift analysis.
 
-Writes are atomic: the journal is re-written through a temp file and
-``os.replace`` (:func:`repro.util.atomic.atomic_write_text`), so a
-query crashing mid-record can never truncate previously journalled
-history.  Reads tolerate a trailing partial line for journals written
-by foreign appenders.
+The journal keeps **one** append-mode file handle for its lifetime,
+opened lazily on the first append and reused for every subsequent
+record — a serving session journalling thousands of queries pays one
+``open()`` total, not one per query (and, unlike the earlier
+rewrite-the-whole-file scheme, appending is O(record), not
+O(journal)).  Each record is a single ``write()`` of one complete
+line followed by a flush: appends of that size are atomic on POSIX,
+so a crash mid-run can truncate at most the line being written, never
+previously journalled history.  Reads tolerate a trailing partial
+line for journals written by foreign appenders.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
-
-from repro.util.atomic import atomic_write_text
+from typing import IO
 
 #: journal filename suffix, appended to the repository file name.
 JOURNAL_SUFFIX = ".workload.jsonl"
@@ -46,6 +51,11 @@ class WorkloadJournal:
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self._lock = threading.Lock()
+        #: how many times the backing file has been opened — a serving
+        #: session appending N records must report ``opens == 1``.
+        self.opens = 0
 
     def __len__(self) -> int:
         return len(self.records())
@@ -54,20 +64,41 @@ class WorkloadJournal:
         """True when the journal file is present on disk."""
         return self.path.exists()
 
-    def append(self, record: dict) -> None:
-        """Append one record atomically (temp file + rename).
+    def _file(self) -> IO[str]:
+        """The persistent append handle (caller holds the lock)."""
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self.opens += 1
+        return self._handle
 
-        The whole journal is staged — current content plus the new
-        line — and renamed over the target, so readers never observe a
-        torn line and a crash preserves everything already journalled.
+    def append(self, record: dict) -> None:
+        """Append one record as a single atomic line write.
+
+        The line is serialized outside the lock, written in one
+        ``write()`` call on the journal's persistent handle, and
+        flushed so concurrent readers (and ``records()``) observe it
+        immediately.  Thread-safe: concurrent appenders interleave
+        whole lines, never tear them.
         """
-        line = json.dumps(record, sort_keys=True, default=str)
-        existing = ""
-        if self.path.exists():
-            existing = self.path.read_text(encoding="utf-8")
-            if existing and not existing.endswith("\n"):
-                existing += "\n"
-        atomic_write_text(self.path, existing + line + "\n")
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            handle = self._file()
+            handle.write(line)
+            handle.flush()
+
+    def close(self) -> None:
+        """Close the persistent handle (reopened lazily if needed)."""
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WorkloadJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def records(self, since: str | None = None) -> list[dict]:
         """All journalled records, oldest first.

@@ -5,32 +5,44 @@ operator counter the engine keeps.  Counters are plain mutable cells so
 the long-standing ``stats.decompressions += 1`` idiom stays a couple of
 attribute accesses; histograms capture per-operator wall times and
 report p50/p95/max.
+
+Thread safety: :meth:`Counter.add` and the registry's get-or-create /
+snapshot / merge paths take locks, so a registry *shared across
+threads* (the session layer's ``cache.*`` counters, batch-serving
+aggregation) never loses increments.  Direct ``cell.value`` mutation —
+the ``EvaluationStats`` hot-path idiom — stays lock-free and is only
+legal on per-run registries, which are confined to one thread.
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class Counter:
     """A named, monotonically adjustable integer cell."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str, value: int = 0):
         self.name = name
         self.value = value
+        self._lock = threading.Lock()
 
     def add(self, n: int = 1) -> None:
         """Increment by ``n`` (counters only ever count *up*).
 
         A negative increment is always a caller bug — a counter that
         can go down silently corrupts every ratio derived from it — so
-        it raises instead of clamping.
+        it raises instead of clamping.  The increment is atomic, so
+        concurrent adders on a shared registry never lose counts.
         """
         if n < 0:
             raise ValueError(
                 f"counter {self.name!r}: negative increment {n} "
                 "(counters are monotonic)")
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
@@ -103,18 +115,22 @@ class Histogram:
 class MetricsRegistry:
     """Get-or-create registry of named counters and histograms."""
 
-    __slots__ = ("_counters", "_histograms")
+    __slots__ = ("_counters", "_histograms", "_lock")
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created at 0 on first use."""
         cell = self._counters.get(name)
         if cell is None:
-            cell = Counter(name)
-            self._counters[name] = cell
+            with self._lock:
+                cell = self._counters.get(name)
+                if cell is None:
+                    cell = Counter(name)
+                    self._counters[name] = cell
         return cell
 
     def add(self, name: str, n: int = 1) -> None:
@@ -125,8 +141,11 @@ class MetricsRegistry:
         """The histogram called ``name``, created empty on first use."""
         hist = self._histograms.get(name)
         if hist is None:
-            hist = Histogram(name)
-            self._histograms[name] = hist
+            with self._lock:
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = Histogram(name)
+                    self._histograms[name] = hist
         return hist
 
     def observe(self, name: str, value: float) -> None:
@@ -135,13 +154,34 @@ class MetricsRegistry:
 
     def counters(self) -> dict[str, int]:
         """All counter values, by name (zero-valued ones included)."""
-        return {name: cell.value
-                for name, cell in sorted(self._counters.items())}
+        with self._lock:
+            cells = sorted(self._counters.items())
+        return {name: cell.value for name, cell in cells}
 
     def histograms(self) -> dict[str, dict]:
         """All histogram summaries, by name."""
-        return {name: hist.summary()
-                for name, hist in sorted(self._histograms.items())}
+        with self._lock:
+            hists = sorted(self._histograms.items())
+        return {name: hist.summary() for name, hist in hists}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one.
+
+        Counters add up; histogram observations concatenate.  Used by
+        the session layer to aggregate per-run registries into one
+        serving-wide view; safe against concurrent merges into the
+        same target.
+        """
+        for name, value in other.counters().items():
+            if value:
+                self.add(name, value)
+        with other._lock:
+            observations = [(name, list(hist.values))
+                            for name, hist in other._histograms.items()]
+        for name, values in observations:
+            target = self.histogram(name)
+            for value in values:
+                target.observe(value)
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot of every metric."""

@@ -26,6 +26,7 @@ load plus an ``is None`` test.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -146,6 +147,7 @@ class WorkloadRecorder:
         self.enabled = enabled
         #: records appended by this recorder instance (for tests/CLI).
         self.records_written = 0
+        self._count_lock = threading.Lock()
 
     @contextmanager
     def capture(self, query_text: str, ast, repository, telemetry):
@@ -177,7 +179,8 @@ class WorkloadRecorder:
         )
         self._bump_metrics(metrics, record)
         self.journal.append(record.to_dict())
-        self.records_written += 1
+        with self._count_lock:
+            self.records_written += 1
 
     def _bump_metrics(self, metrics, record: WorkloadRecord) -> None:
         """Mirror the record into ``workload.*`` registry counters."""

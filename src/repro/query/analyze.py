@@ -59,11 +59,13 @@ def explain_analyze(query: str | Expression, target) -> AnalyzeReport:
     Decompress step the paper defers to serialization.
     """
     from repro.query.engine import QueryEngine
+    from repro.query.options import ExecutionOptions
     engine = target if isinstance(target, QueryEngine) \
         else QueryEngine(target)
     telemetry = Telemetry(enabled=True)
     with runtime.activated(telemetry):
-        result = engine.execute(query, telemetry=telemetry)
+        result = engine.execute(query,
+                                ExecutionOptions(telemetry=telemetry))
         items = result.items  # force the Decompress step under telemetry
     sketch = explain(query)
     text = _render(sketch, result, telemetry, len(items), engine)

@@ -21,6 +21,9 @@ compressed for as long as possible:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 from repro.errors import QueryError
 from repro.obs import runtime
 from repro.obs.telemetry import Telemetry
@@ -53,6 +56,7 @@ from repro.query.context import (
     string_value,
 )
 from repro.query.functions import FUNCTIONS
+from repro.query.options import ExecutionOptions, coerce_options
 from repro.query.optimizer import (
     context_free,
     find_join_plan,
@@ -68,12 +72,20 @@ from repro.xmlio.writer import serialize
 
 
 class QueryResult:
-    """The evaluated sequence plus serialization and statistics."""
+    """The evaluated sequence plus serialization and statistics.
+
+    The uniform return type of the whole execution API — engine,
+    session and system all hand one back.  It implements the sequence
+    protocol over the *materialized* items (``len``, indexing,
+    iteration), so callers never need to reach into engine internals
+    to consume a result.
+    """
 
     def __init__(self, items: list, stats: EvaluationStats,
                  engine: "QueryEngine",
                  telemetry: Telemetry | None = None):
         self._raw_items = items
+        self._materialized: list | None = None
         self.stats = stats
         self._engine = engine
         #: the run's tracer + metrics (disabled unless requested).
@@ -82,13 +94,30 @@ class QueryResult:
 
     @property
     def items(self) -> list:
-        """Fully decompressed result items (str/float/bool/Element)."""
+        """Fully decompressed result items (str/float/bool/Element).
+
+        Materialized once and memoised — repeated access (``to_xml``
+        after ``values``, the sequence protocol) must not redo — or
+        double-count — the final Decompress step.
+        """
+        if self._materialized is not None:
+            return self._materialized
+        if not self.telemetry.enabled:
+            # No global activation on the disabled path: thread-pooled
+            # batch runs materialize concurrently without touching the
+            # process-wide runtime slot.
+            self._materialized = [
+                self._engine.materialize_item(item, self.stats)
+                for item in self._raw_items]
+            return self._materialized
         # Materialization is the final Decompress step; keep it under
         # the run's telemetry so codec activity lands in one registry.
         with runtime.activated(self.telemetry):
             with self.telemetry.span("Decompress"):
-                return [self._engine.materialize_item(item, self.stats)
-                        for item in self._raw_items]
+                self._materialized = [
+                    self._engine.materialize_item(item, self.stats)
+                    for item in self._raw_items]
+        return self._materialized
 
     def values(self) -> list:
         """Items with Elements serialized to XML strings."""
@@ -122,6 +151,12 @@ class QueryResult:
     def __len__(self) -> int:
         return len(self._raw_items)
 
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def __iter__(self):
+        return iter(self.items)
+
 
 class QueryEngine:
     """Compiles and evaluates queries over compressed repositories.
@@ -151,8 +186,13 @@ class QueryEngine:
         self.verify_plans = verify_plans
         self._fulltext_indexes: dict[str, "FullTextIndex"] = {}
         #: verifier results per parsed query (the AST is kept alive so
-        #: its id() cannot be reused by a different expression).
-        self._verify_cache: dict[int, tuple[Expression, list]] = {}
+        #: its id() cannot be reused by a different expression).  LRU
+        #: bounded: a long-lived serving engine must not pin every AST
+        #: it ever verified.
+        self._verify_cache: OrderedDict[int, tuple[Expression, list]] \
+            = OrderedDict()
+        self._verify_cache_capacity = 256
+        self._verify_lock = threading.Lock()
 
     def repository_of(self, doc: str | None) -> CompressedRepository:
         """Repository for a document name (default when unknown)."""
@@ -173,18 +213,28 @@ class QueryEngine:
         return index
 
     def execute(self, query: str | Expression,
-                telemetry: Telemetry | None = None) -> QueryResult:
+                options: ExecutionOptions | None = None,
+                *, diagnostics: list | None = None,
+                label: str | None = None,
+                **legacy) -> QueryResult:
         """Parse (if needed) and evaluate a query.
 
-        Pass an enabled :class:`~repro.obs.telemetry.Telemetry` (or set
-        ``telemetry_enabled`` on the engine) to record spans, operator
-        histograms and codec/storage activity for the run.
+        ``options`` is an :class:`~repro.query.options.ExecutionOptions`
+        carrying the run's telemetry, recording and binding knobs; the
+        legacy ``telemetry=`` keyword still works behind a
+        ``DeprecationWarning``.  ``diagnostics`` lets a caller that
+        already verified the query (a prepared plan from the session's
+        plan cache) pass the verifier's findings in, skipping the
+        static verification step entirely.  ``label`` names the run in
+        spans and workload records when ``query`` is a pre-parsed
+        expression (the session passes the original query text).
         """
+        options = coerce_options(options, legacy, "QueryEngine.execute")
         ast = parse_query(query) if isinstance(query, str) else query
-        if telemetry is None:
-            telemetry = Telemetry(enabled=self.telemetry_enabled)
+        telemetry = options.resolve_telemetry(self.telemetry_enabled)
         if self.verify_plans:
-            diagnostics = self.verify(ast)
+            if diagnostics is None:
+                diagnostics = self.verify(ast)
             errors = [d for d in diagnostics if d.severity == "error"]
             if errors:
                 from repro.errors import PlanVerificationError
@@ -195,16 +245,24 @@ class QueryEngine:
         evaluator = _Evaluator(self.repository, self._fulltext_indexes,
                                self.collection, telemetry=telemetry)
         query_text = query if isinstance(query, str) else \
-            type(ast).__name__
+            (label if label is not None else type(ast).__name__)
+        base_env = options.binding_environment()
 
         def run() -> list:
             if not telemetry.enabled:
-                return evaluator.eval(ast, {})
+                return evaluator.eval(ast, base_env)
             with runtime.activated(telemetry):
                 with telemetry.span("Execute", query=query_text):
-                    return evaluator.eval(ast, {})
+                    return evaluator.eval(ast, base_env)
 
-        if self.recorder is not None and self.recorder.enabled:
+        record = options.record
+        if record is None:
+            record = self.recorder is not None and self.recorder.enabled
+        elif record and self.recorder is None:
+            raise QueryError(
+                "recording requested but no workload recorder is "
+                "attached to this engine")
+        if record:
             with self.recorder.capture(query_text, ast,
                                        self.repository, telemetry):
                 items = run()
@@ -218,17 +276,22 @@ class QueryEngine:
 
         Compiles the optimizer's decisions into plan sketches and runs
         the Tier-A verifier over them; returns the
-        :class:`~repro.lint.PlanDiagnostic` list (cached per parsed
+        :class:`~repro.lint.PlanDiagnostic` list (LRU-cached per parsed
         expression — ``execute`` calls this on every run).
         """
         ast = parse_query(query) if isinstance(query, str) else query
-        cached = self._verify_cache.get(id(ast))
-        if cached is not None and cached[0] is ast:
-            return cached[1]
+        with self._verify_lock:
+            cached = self._verify_cache.get(id(ast))
+            if cached is not None and cached[0] is ast:
+                self._verify_cache.move_to_end(id(ast))
+                return cached[1]
         from repro.lint.compile import verify_query
         diagnostics = verify_query(ast, self.repository,
                                    self.collection)
-        self._verify_cache[id(ast)] = (ast, diagnostics)
+        with self._verify_lock:
+            self._verify_cache[id(ast)] = (ast, diagnostics)
+            while len(self._verify_cache) > self._verify_cache_capacity:
+                self._verify_cache.popitem(last=False)
         return diagnostics
 
     def explain(self, query: str | Expression) -> str:

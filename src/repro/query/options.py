@@ -1,0 +1,109 @@
+"""``ExecutionOptions``: the one knob surface for running a query.
+
+Before the serving layer, the three public entry points grew three
+subtly different keyword surfaces: ``XQueCSystem.query`` took a bare
+``telemetry=``, ``QueryEngine.execute`` took the same plus engine-level
+flags, and the CLI ``query`` command re-invented both as argparse
+flags.  Every run option now lives on one frozen dataclass that all
+layers accept; each layer consumes the fields that apply to it and
+passes the rest through unchanged.
+
+The old keyword arguments keep working through
+:func:`coerce_options` — callers passing ``telemetry=`` get a
+``DeprecationWarning`` and the value is folded into an
+:class:`ExecutionOptions` for them.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+
+from repro.obs.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Every per-run option of the unified execution API.
+
+    ``telemetry``
+        An enabled :class:`~repro.obs.telemetry.Telemetry` to record
+        the run into; ``None`` lets the executing layer create one.
+    ``telemetry_enabled``
+        When ``telemetry`` is ``None``, create the run's telemetry
+        enabled (spans + histograms) instead of counters-only.
+    ``record``
+        Tri-state workload journalling: ``None`` follows the attached
+        :class:`~repro.obs.workload.WorkloadRecorder`'s own ``enabled``
+        flag (the historical behaviour); ``True`` requires a recorder
+        and journals the run; ``False`` skips journalling even with an
+        enabled recorder attached.
+    ``use_plan_cache`` / ``use_block_cache``
+        Session-level switches for the prepared-plan LRU and the
+        decoded-block cache; the bare engine ignores them.
+    ``bindings``
+        External variable bindings (name -> value) seeded into the
+        evaluation environment, so one prepared query re-runs under
+        different constants without re-parsing.  Scalar values are
+        wrapped into singleton sequences.
+    """
+
+    telemetry: Telemetry | None = None
+    telemetry_enabled: bool = False
+    record: bool | None = None
+    use_plan_cache: bool = True
+    use_block_cache: bool = True
+    bindings: Mapping[str, object] | None = None
+
+    def with_telemetry(self, telemetry: Telemetry) -> "ExecutionOptions":
+        """A copy of these options recording into ``telemetry``."""
+        return replace(self, telemetry=telemetry)
+
+    def resolve_telemetry(self, default_enabled: bool = False
+                          ) -> Telemetry:
+        """The run's telemetry: the given one, or a fresh instance."""
+        if self.telemetry is not None:
+            return self.telemetry
+        return Telemetry(
+            enabled=self.telemetry_enabled or default_enabled)
+
+    def binding_environment(self) -> dict[str, list]:
+        """The initial evaluation environment from ``bindings``.
+
+        Values that are not already sequences are wrapped into
+        singleton lists (the engine's item-sequence convention).
+        """
+        if not self.bindings:
+            return {}
+        return {name: value if isinstance(value, list) else [value]
+                for name, value in self.bindings.items()}
+
+
+def coerce_options(options: ExecutionOptions | None,
+                   legacy: dict, owner: str) -> ExecutionOptions:
+    """Normalize ``(options, **legacy)`` into one ExecutionOptions.
+
+    ``legacy`` holds the deprecated keyword arguments an entry point
+    still accepts for backwards compatibility (currently only
+    ``telemetry``); passing one warns and folds the value in.  Unknown
+    keywords raise ``TypeError`` exactly like a real signature would.
+    """
+    unknown = set(legacy) - {"telemetry"}
+    if unknown:
+        raise TypeError(
+            f"{owner}() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}")
+    telemetry = legacy.get("telemetry")
+    if telemetry is not None:
+        warnings.warn(
+            f"{owner}(telemetry=...) is deprecated; pass "
+            "ExecutionOptions(telemetry=...) instead",
+            DeprecationWarning, stacklevel=3)
+        if options is not None and options.telemetry is not None:
+            raise TypeError(
+                f"{owner}(): telemetry passed both as legacy keyword "
+                "and inside ExecutionOptions")
+        options = replace(options if options is not None
+                          else ExecutionOptions(), telemetry=telemetry)
+    return options if options is not None else ExecutionOptions()

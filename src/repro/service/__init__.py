@@ -1,0 +1,37 @@
+"""The serving layer: ``Database``/``Session`` over a resident
+compressed repository, with a prepared-plan LRU and a byte-budgeted
+decoded-block cache behind one unified execution API."""
+
+from repro.query.options import ExecutionOptions
+from repro.service.blocks import (
+    CachedContainerView,
+    CachedRepositoryView,
+)
+from repro.service.cache import (
+    DEFAULT_BLOCK_BUDGET,
+    DEFAULT_PLAN_CAPACITY,
+    BlockCache,
+    PlanCache,
+    normalize_query_text,
+)
+from repro.service.session import (
+    Database,
+    PreparedPlan,
+    PreparedQuery,
+    Session,
+)
+
+__all__ = [
+    "BlockCache",
+    "CachedContainerView",
+    "CachedRepositoryView",
+    "Database",
+    "DEFAULT_BLOCK_BUDGET",
+    "DEFAULT_PLAN_CAPACITY",
+    "ExecutionOptions",
+    "normalize_query_text",
+    "PlanCache",
+    "PreparedPlan",
+    "PreparedQuery",
+    "Session",
+]

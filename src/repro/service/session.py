@@ -1,0 +1,384 @@
+"""``Database``/``Session``: the resident serving layer (tentpole).
+
+The paper's processor (§4) assumes a *resident* compressed repository
+answering many queries; this module is that assumption made concrete.
+A :class:`Database` holds one loaded
+:class:`~repro.storage.repository.CompressedRepository` plus the two
+caches tied to it; a :class:`Session` is the unit of query serving over
+it — the one public way to run queries:
+
+* :meth:`Session.prepare` parses and statically verifies a query
+  **once**, returning a :class:`PreparedQuery` that re-runs any number
+  of times (optionally under fresh constant bindings) without touching
+  the parser or the plan verifier again;
+* every textual ``execute`` goes through the LRU **plan cache** keyed
+  on normalized query text — a warm hit skips parse + verification
+  entirely (``cache.plan.hit`` counts it);
+* the engine underneath evaluates over a
+  :class:`~repro.service.blocks.CachedRepositoryView`, so decoded
+  container records and structure-summary resolutions are memoised in
+  the byte-budgeted **block cache**;
+* :meth:`Session.execute_many` serves a batch from a thread pool,
+  sharing both caches and the session's thread-safe metrics registry;
+* workload recording, telemetry and plan verification all flow through
+  this one code path — the system facade, the CLI and the benchmarks
+  are thin callers of it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.workload import WorkloadRecorder
+from repro.query.ast import Expression
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.options import ExecutionOptions, coerce_options
+from repro.query.parser import parse_query
+from repro.service.blocks import CachedRepositoryView
+from repro.service.cache import (
+    DEFAULT_BLOCK_BUDGET,
+    DEFAULT_PLAN_CAPACITY,
+    BlockCache,
+    PlanCache,
+    normalize_query_text,
+)
+from repro.storage.repository import CompressedRepository
+
+
+class PreparedPlan:
+    """The cacheable product of parse + static verification.
+
+    Holds no session reference, so one plan cache can back several
+    sessions over the same repository; a :class:`PreparedQuery` binds a
+    plan to the session it will run on.
+    """
+
+    __slots__ = ("key", "text", "ast", "diagnostics")
+
+    def __init__(self, key: str | None, text: str | None,
+                 ast: Expression, diagnostics: list):
+        self.key = key
+        self.text = text
+        self.ast = ast
+        self.diagnostics = diagnostics
+
+    def __repr__(self) -> str:
+        return f"<PreparedPlan {self.text or type(self.ast).__name__!r}>"
+
+
+class PreparedQuery:
+    """A parsed, verified query bound to a session, ready to re-run."""
+
+    __slots__ = ("session", "plan")
+
+    def __init__(self, session: "Session", plan: PreparedPlan):
+        self.session = session
+        self.plan = plan
+
+    @property
+    def text(self) -> str | None:
+        """The original query text (``None`` for AST-prepared ones)."""
+        return self.plan.text
+
+    @property
+    def ast(self) -> Expression:
+        """The parsed expression the plan evaluates."""
+        return self.plan.ast
+
+    @property
+    def diagnostics(self) -> list:
+        """The static verifier's findings, computed at prepare time."""
+        return self.plan.diagnostics
+
+    def run(self, options: ExecutionOptions | None = None, *,
+            bindings: dict | None = None, **legacy) -> QueryResult:
+        """Execute the prepared plan (parse/verify already paid).
+
+        ``bindings`` rebinds external ``$variables`` to new constants
+        for this run only — the prepared-statement idiom: one plan,
+        many parameterizations.
+        """
+        options = coerce_options(options, legacy, "PreparedQuery.run")
+        if bindings is not None:
+            merged = dict(options.bindings or {})
+            merged.update(bindings)
+            options = replace(options, bindings=merged)
+        return self.session._run(self, options)
+
+    def __repr__(self) -> str:
+        return f"<PreparedQuery {self.text!r}>"
+
+
+class Session:
+    """One serving session over a resident compressed repository.
+
+    All caches, the metrics registry and the workload recorder are
+    shared by every query the session runs — including the worker
+    threads of :meth:`execute_many` — and all of them are thread-safe.
+
+    Cache sizing knobs: ``plan_capacity`` bounds the number of resident
+    prepared plans; ``block_budget`` bounds the approximate decoded
+    bytes the block cache holds (both can also be injected pre-built
+    via ``plan_cache=``/``block_cache=`` to share across sessions, the
+    way :class:`Database` does).
+    """
+
+    def __init__(self, repository: CompressedRepository,
+                 collection: dict[str, CompressedRepository]
+                 | None = None, *,
+                 plan_cache: PlanCache | None = None,
+                 block_cache: BlockCache | None = None,
+                 plan_capacity: int = DEFAULT_PLAN_CAPACITY,
+                 block_budget: int = DEFAULT_BLOCK_BUDGET,
+                 metrics: MetricsRegistry | None = None,
+                 journal=None,
+                 recorder: WorkloadRecorder | None = None,
+                 verify_plans: bool = True,
+                 telemetry_enabled: bool = False):
+        self.repository = repository
+        self.collection = dict(collection) if collection else {}
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.plan_cache = plan_cache if plan_cache is not None \
+            else PlanCache(plan_capacity, metrics=self.metrics)
+        self.block_cache = block_cache if block_cache is not None \
+            else BlockCache(block_budget, metrics=self.metrics)
+        self.telemetry_enabled = telemetry_enabled
+        #: one recorder — and therefore one journal file handle — per
+        #: session, however many queries it records.
+        if recorder is None and journal is not None:
+            recorder = WorkloadRecorder(journal)
+        self.recorder = recorder
+        self._view = CachedRepositoryView(repository, self.block_cache)
+        self.engine = QueryEngine(
+            self._view, collection=self.collection or None,
+            telemetry_enabled=telemetry_enabled,
+            verify_plans=verify_plans, recorder=recorder)
+        self._raw_engine: QueryEngine | None = None
+        self._engine_lock = threading.Lock()
+        #: serializes runs that activate the process-wide telemetry /
+        #: recorder slots (enabled tracing, workload capture) — those
+        #: globals are not thread-local, so traced runs take turns
+        #: while plain counter-only runs stay fully parallel.
+        self._activation_lock = threading.Lock()
+
+    # -- preparing -----------------------------------------------------------
+
+    def prepare(self, query: str | Expression,
+                use_cache: bool = True) -> PreparedQuery:
+        """Parse + statically verify once; re-run many times.
+
+        Textual queries go through the plan cache (keyed on normalized
+        text); a hit returns without touching the parser or the
+        verifier.  Verification *errors* surface here, at prepare time
+        — a plan that cannot run is never cached.
+        """
+        self.metrics.add("session.prepares")
+        if isinstance(query, Expression):
+            return PreparedQuery(self, self._build_plan(None, None,
+                                                        query))
+        key = normalize_query_text(query)
+        if use_cache:
+            plan = self.plan_cache.get(key)
+            if plan is not None:
+                return PreparedQuery(self, plan)
+        plan = self._build_plan(key, query, None)
+        if use_cache:
+            self.plan_cache.put(key, plan)
+        return PreparedQuery(self, plan)
+
+    def _build_plan(self, key: str | None, text: str | None,
+                    ast: Expression | None) -> PreparedPlan:
+        if ast is None:
+            self.metrics.add("session.parses")
+            ast = parse_query(text)
+        diagnostics: list = []
+        if self.engine.verify_plans:
+            diagnostics = self.engine.verify(ast)
+            if any(d.severity == "error" for d in diagnostics):
+                from repro.errors import PlanVerificationError
+                raise PlanVerificationError(diagnostics)
+        return PreparedPlan(key, text, ast, diagnostics)
+
+    # -- executing -----------------------------------------------------------
+
+    def execute(self, query: str | Expression,
+                options: ExecutionOptions | None = None,
+                **legacy) -> QueryResult:
+        """The unified entry point: prepare (cached) + run."""
+        options = coerce_options(options, legacy, "Session.execute")
+        prepared = self.prepare(query, use_cache=options.use_plan_cache)
+        return self._run(prepared, options)
+
+    def execute_many(self, queries: Sequence[str | Expression],
+                     max_workers: int = 4,
+                     options: ExecutionOptions | None = None
+                     ) -> list[QueryResult]:
+        """Serve a batch of queries from a thread pool.
+
+        Results come back in input order and match what serial
+        execution returns.  One shared ``options.telemetry`` cannot
+        record N concurrent runs, so it is rejected; per-run telemetry
+        (``telemetry_enabled=True``) and workload recording work, but
+        serialize on the process-wide activation slot.
+        """
+        options = options if options is not None else ExecutionOptions()
+        if options.telemetry is not None:
+            raise ValueError(
+                "execute_many cannot share one Telemetry across "
+                "concurrent runs; use "
+                "ExecutionOptions(telemetry_enabled=True) for per-run "
+                "telemetry")
+        self.metrics.add("session.batches")
+        if max_workers <= 1 or len(queries) <= 1:
+            return [self.execute(query, options) for query in queries]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(
+                lambda query: self.execute(query, options), queries))
+
+    def _run(self, prepared: PreparedQuery,
+             options: ExecutionOptions) -> QueryResult:
+        engine = self._engine_for(options)
+        record = options.record
+        if record is None:
+            record = self.recorder is not None and self.recorder.enabled
+        telemetry_on = (options.telemetry.enabled
+                        if options.telemetry is not None
+                        else options.telemetry_enabled
+                        or self.telemetry_enabled)
+        self.metrics.add("session.executions")
+        if telemetry_on or record:
+            with self._activation_lock:
+                return engine.execute(prepared.ast, options,
+                                      diagnostics=prepared.diagnostics,
+                                      label=prepared.plan.text)
+        return engine.execute(prepared.ast, options,
+                              diagnostics=prepared.diagnostics,
+                              label=prepared.plan.text)
+
+    def _engine_for(self, options: ExecutionOptions) -> QueryEngine:
+        if options.use_block_cache:
+            return self.engine
+        with self._engine_lock:
+            if self._raw_engine is None:
+                raw = QueryEngine(
+                    self.repository,
+                    collection=self.collection or None,
+                    telemetry_enabled=self.telemetry_enabled,
+                    verify_plans=self.engine.verify_plans,
+                    recorder=self.recorder)
+                # Full-text indexes are registered once per session;
+                # both engines must see the same registrations.
+                raw._fulltext_indexes = self.engine._fulltext_indexes
+                self._raw_engine = raw
+            return self._raw_engine
+
+    # -- explain / analyze ---------------------------------------------------
+
+    def explain(self, query: str | Expression) -> str:
+        """Describe the evaluation strategy without running the query."""
+        return self.engine.explain(query)
+
+    def analyze(self, query: str | Expression,
+                options: ExecutionOptions | None = None):
+        """``EXPLAIN ANALYZE`` through the session (plan cache
+        included): returns the full
+        :class:`~repro.query.analyze.AnalyzeReport`."""
+        from repro.query.analyze import explain_analyze
+        prepared = self.prepare(
+            query, use_cache=options.use_plan_cache
+            if options is not None else True)
+        with self._activation_lock:
+            return explain_analyze(prepared.ast, self.engine)
+
+    def explain_analyze(self, query: str | Expression) -> str:
+        """The rendered ``EXPLAIN ANALYZE`` text."""
+        return self.analyze(query).text
+
+    # -- repository-level helpers -------------------------------------------
+
+    def build_fulltext_index(self, container_path: str):
+        """Register a §6 full-text index on one container."""
+        return self.engine.build_fulltext_index(container_path)
+
+    def decompress(self) -> str:
+        """Reconstruct the whole document as XML text."""
+        from repro.query.context import EvaluationStats
+        from repro.xmlio.writer import serialize
+        element = self.engine.materialize_node(0, EvaluationStats())
+        return serialize(element)
+
+    def invalidate_caches(self) -> None:
+        """Explicitly flush both caches (e.g. after swapping the
+        repository a Database serves)."""
+        self.plan_cache.invalidate()
+        self.block_cache.invalidate()
+
+    def close(self) -> None:
+        """Release session resources (the recorder's journal handle)."""
+        if self.recorder is not None:
+            self.recorder.journal.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"<Session over {self.repository!r} "
+                f"plan={self.plan_cache!r} block={self.block_cache!r}>")
+
+
+class Database:
+    """A resident compressed database: repository + shared caches.
+
+    The factory for sessions — every :meth:`session` shares the
+    database's plan cache, block cache and metrics registry, so a pool
+    of serving sessions over one document warms one set of caches.
+    """
+
+    def __init__(self, repository: CompressedRepository,
+                 collection: dict[str, CompressedRepository]
+                 | None = None, *,
+                 plan_capacity: int = DEFAULT_PLAN_CAPACITY,
+                 block_budget: int = DEFAULT_BLOCK_BUDGET,
+                 metrics: MetricsRegistry | None = None):
+        self.repository = repository
+        self.collection = dict(collection) if collection else {}
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self.plan_cache = PlanCache(plan_capacity,
+                                    metrics=self.metrics)
+        self.block_cache = BlockCache(block_budget,
+                                      metrics=self.metrics)
+
+    @classmethod
+    def open(cls, path: str | Path, **kwargs) -> "Database":
+        """Open a serialized repository file (``.xqc``)."""
+        from repro.storage.serialization import load_repository
+        return cls(load_repository(Path(path)), **kwargs)
+
+    @classmethod
+    def from_xml(cls, xml_text: str, configuration=None,
+                 **kwargs) -> "Database":
+        """Load (and compress) an XML document into a database."""
+        from repro.storage.loader import load_document
+        return cls(load_document(xml_text,
+                                 configuration=configuration), **kwargs)
+
+    def session(self, **kwargs) -> Session:
+        """A new session sharing this database's caches and metrics."""
+        kwargs.setdefault("plan_cache", self.plan_cache)
+        kwargs.setdefault("block_cache", self.block_cache)
+        kwargs.setdefault("metrics", self.metrics)
+        return Session(self.repository,
+                       self.collection or None, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<Database {self.repository!r}>"

@@ -1,0 +1,120 @@
+"""Serving-layer smoke benchmark (the CI ``service-smoke`` job).
+
+Loads a small XMark document into a :class:`~repro.service.Database`,
+then serves the same query set twice through one session:
+
+* **cold** — both caches invalidated before every query, so each run
+  pays parse + static verification + uncached block decoding;
+* **warm** — caches left alone, so every run after the first hits the
+  plan cache (skipping parse/verify) and the block cache.
+
+The run *asserts* the serving layer is actually serving: the warm
+passes must beat the cold passes wall-clock, and the session metrics
+must show nonzero ``cache.plan.hit`` and ``cache.block.hit``.  Each
+phase appends one point per query to the benchmark trajectory
+(:mod:`repro.bench.trajectory`), so cache effectiveness is tracked
+across the repo's history like every other §5 number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.trajectory import TRAJECTORY_PATH, load_trajectory, \
+    record_point
+
+
+def _run_queries(session, query_ids: list[str], texts: dict[str, str],
+                 repeat: int, cold: bool) -> dict[str, float]:
+    """Total wall seconds per query over ``repeat`` runs."""
+    totals: dict[str, float] = {qid: 0.0 for qid in query_ids}
+    for _ in range(repeat):
+        for query_id in query_ids:
+            if cold:
+                session.invalidate_caches()
+            start = time.perf_counter()
+            result = session.execute(texts[query_id])
+            len(result.items)
+            totals[query_id] += time.perf_counter() - start
+    return totals
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.smoke",
+        description="warm/cold cache benchmark over the serving layer")
+    parser.add_argument("--factor", type=float, default=0.02,
+                        help="XMark scale factor (default 0.02)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--queries", default="Q1,Q2,Q5,Q8",
+                        help="comma-separated XMark query ids")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per query per phase (default 3)")
+    parser.add_argument("--trajectory", type=Path,
+                        default=TRAJECTORY_PATH)
+    args = parser.parse_args(argv)
+
+    from repro.service import Database
+    from repro.xmark.generator import generate_xmark
+    from repro.xmark.queries import query_text
+
+    query_ids = [q.strip() for q in args.queries.split(",")
+                 if q.strip()]
+    texts = {qid: query_text(qid) for qid in query_ids}
+    xml_text = generate_xmark(factor=args.factor, seed=args.seed)
+    database = Database.from_xml(xml_text)
+    session = database.session()
+
+    cold = _run_queries(session, query_ids, texts, args.repeat,
+                        cold=True)
+    session.invalidate_caches()
+    warm = _run_queries(session, query_ids, texts, args.repeat,
+                        cold=False)
+
+    counters = database.metrics.counters()
+    plan_hits = counters.get("cache.plan.hit", 0)
+    block_hits = counters.get("cache.block.hit", 0)
+    cold_total = sum(cold.values())
+    warm_total = sum(warm.values())
+    speedup = cold_total / warm_total if warm_total else float("inf")
+    for query_id in query_ids:
+        print(f"{query_id}: cold {cold[query_id]:.4f} s, "
+              f"warm {warm[query_id]:.4f} s "
+              f"({args.repeat} runs each)", file=out)
+        for phase, totals in (("cold", cold), ("warm", warm)):
+            record_point(
+                query=query_id,
+                wall_s=totals[query_id] / args.repeat,
+                experiment=f"service_smoke_{phase}",
+                items=0,
+                path=args.trajectory)
+    print(f"total: cold {cold_total:.4f} s, warm {warm_total:.4f} s "
+          f"(speedup {speedup:.2f}x)", file=out)
+    print(f"cache.plan.hit={plan_hits} cache.block.hit={block_hits} "
+          f"prepares={counters.get('session.prepares', 0)} "
+          f"parses={counters.get('session.parses', 0)}", file=out)
+    print(f"trajectory: {args.trajectory} "
+          f"({len(load_trajectory(args.trajectory))} points)",
+          file=out)
+
+    failures = []
+    if plan_hits == 0:
+        failures.append("no plan-cache hits in the warm phase")
+    if block_hits == 0:
+        failures.append("no block-cache hits in the warm phase")
+    if warm_total >= cold_total:
+        failures.append(
+            f"warm serving was not faster than cold "
+            f"({warm_total:.4f} s >= {cold_total:.4f} s)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=out)
+    if not failures:
+        print("service smoke OK", file=out)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from repro.partitioning.config import (
     ContainerGroup,
 )
 from repro.query.engine import QueryEngine
+from repro.query.options import ExecutionOptions
 from repro.query.parser import parse_query
 from repro.query.physical import XMLSerialize
 from repro.storage.loader import load_document
@@ -122,7 +123,8 @@ class TestEngineGate:
         telemetry = Telemetry(enabled=True)
         engine.execute(
             'for $b in /lib/b where $b/t/text() = "title 03" '
-            "return $b/t/text()", telemetry=telemetry)
+            "return $b/t/text()",
+            ExecutionOptions(telemetry=telemetry))
         rules = [d.rule for d in telemetry.diagnostics]
         assert rules == ["plan.interval-decompressing"]
         assert telemetry.metrics.counters()["lint.warning"] == 1

@@ -45,6 +45,62 @@ class TestAppend:
         assert len(journal) == 1
 
 
+class TestHandleReuse:
+    def test_many_appends_one_open(self, journal):
+        for i in range(50):
+            journal.append({"query": f"q{i}"})
+        assert journal.opens == 1
+        assert len(journal) == 50
+
+    def test_close_then_append_reopens_lazily(self, journal):
+        journal.append({"query": "before"})
+        journal.close()
+        journal.append({"query": "after"})
+        assert journal.opens == 2
+        assert [r["query"] for r in journal.records()] == \
+            ["before", "after"]
+
+    def test_close_is_idempotent(self, journal):
+        journal.append({"query": "q"})
+        journal.close()
+        journal.close()
+        assert journal.opens == 1
+
+    def test_context_manager_closes(self, tmp_path):
+        with WorkloadJournal(tmp_path / "ctx.jsonl") as journal:
+            journal.append({"query": "q"})
+            assert journal._handle is not None
+        assert journal._handle is None
+
+    def test_records_visible_while_handle_open(self, journal):
+        # append() flushes, so readers see the line immediately —
+        # no close() needed between write and read.
+        journal.append({"query": "live"})
+        assert journal._handle is not None
+        assert [r["query"] for r in journal.records()] == ["live"]
+
+    def test_concurrent_appends_never_tear_lines(self, journal):
+        import json as json_module
+        import threading
+
+        def worker(tag):
+            for i in range(100):
+                journal.append({"query": f"{tag}-{i}",
+                                "pad": "x" * 200})
+
+        pool = [threading.Thread(target=worker, args=(t,))
+                for t in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 400
+        for line in lines:
+            json_module.loads(line)  # every line is complete JSON
+        assert journal.opens == 1
+
+
 class TestRecords:
     def test_roundtrip(self, journal):
         journal.append({"query": "q", "wall_ns": 5})

@@ -137,14 +137,16 @@ class TestDisabledOverhead:
         acquired real overhead.  Generous margin absorbs CI noise.
         """
         from repro.obs.telemetry import Telemetry
+        from repro.query.options import ExecutionOptions
 
         def best_of(runs: int, make_telemetry) -> float:
             best = float("inf")
             for _ in range(runs):
                 telemetry = make_telemetry()
                 start = time.perf_counter()
-                engine.execute(RANGE_QUERY,
-                               telemetry=telemetry).items
+                engine.execute(
+                    RANGE_QUERY,
+                    ExecutionOptions(telemetry=telemetry)).items
                 best = min(best, time.perf_counter() - start)
             return best
 

@@ -1,0 +1,138 @@
+"""Tests for ExecutionOptions and the legacy-keyword shims."""
+
+import pytest
+
+from repro.core.system import XQueCSystem
+from repro.obs.telemetry import Telemetry
+from repro.query.engine import QueryEngine
+from repro.query.options import ExecutionOptions, coerce_options
+from repro.service.session import Session
+from repro.storage.loader import load_document
+
+DOC = """
+<library>
+  <book isbn="1"><title>Dune</title><price>9.99</price></book>
+  <book isbn="2"><title>Foundation</title><price>7.5</price></book>
+</library>
+"""
+
+
+@pytest.fixture(scope="module")
+def repository():
+    return load_document(DOC)
+
+
+class TestExecutionOptions:
+    def test_defaults(self):
+        options = ExecutionOptions()
+        assert options.telemetry is None
+        assert options.telemetry_enabled is False
+        assert options.record is None
+        assert options.use_plan_cache is True
+        assert options.use_block_cache is True
+        assert options.bindings is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionOptions().telemetry_enabled = True
+
+    def test_with_telemetry(self):
+        telemetry = Telemetry(enabled=True)
+        options = ExecutionOptions().with_telemetry(telemetry)
+        assert options.telemetry is telemetry
+
+    def test_resolve_telemetry_prefers_given(self):
+        telemetry = Telemetry(enabled=True)
+        options = ExecutionOptions(telemetry=telemetry)
+        assert options.resolve_telemetry() is telemetry
+
+    def test_resolve_telemetry_creates_enabled(self):
+        assert ExecutionOptions(
+            telemetry_enabled=True).resolve_telemetry().enabled
+        assert not ExecutionOptions().resolve_telemetry().enabled
+        assert ExecutionOptions().resolve_telemetry(
+            default_enabled=True).enabled
+
+    def test_binding_environment_wraps_scalars(self):
+        options = ExecutionOptions(
+            bindings={"who": "Alice", "both": ["a", "b"]})
+        env = options.binding_environment()
+        assert env == {"who": ["Alice"], "both": ["a", "b"]}
+
+    def test_binding_environment_empty(self):
+        assert ExecutionOptions().binding_environment() == {}
+
+
+class TestCoerceOptions:
+    def test_none_becomes_defaults(self):
+        options = coerce_options(None, {}, "f")
+        assert options == ExecutionOptions()
+
+    def test_passthrough(self):
+        given = ExecutionOptions(telemetry_enabled=True)
+        assert coerce_options(given, {}, "f") is given
+
+    def test_legacy_telemetry_warns_and_folds(self):
+        telemetry = Telemetry(enabled=True)
+        with pytest.warns(DeprecationWarning, match="f\\(telemetry"):
+            options = coerce_options(None, {"telemetry": telemetry},
+                                     "f")
+        assert options.telemetry is telemetry
+
+    def test_unknown_keyword_raises(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            coerce_options(None, {"bogus": 1}, "f")
+
+    def test_double_telemetry_raises(self):
+        telemetry = Telemetry(enabled=True)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="both"):
+                coerce_options(ExecutionOptions(telemetry=telemetry),
+                               {"telemetry": telemetry}, "f")
+
+
+class TestLegacyShims:
+    """The old ``telemetry=`` keyword still works on every entry
+    point, behind a DeprecationWarning naming the caller."""
+
+    def test_engine_execute(self, repository):
+        engine = QueryEngine(repository)
+        telemetry = Telemetry(enabled=True)
+        with pytest.warns(DeprecationWarning,
+                          match="QueryEngine.execute\\(telemetry"):
+            result = engine.execute("/library/book/title",
+                                    telemetry=telemetry)
+        assert result.telemetry is telemetry
+        assert len(result) == 2
+
+    def test_system_query(self, repository):
+        system = XQueCSystem(repository)
+        telemetry = Telemetry(enabled=True)
+        with pytest.warns(DeprecationWarning,
+                          match="XQueCSystem.query\\(telemetry"):
+            result = system.query("/library/book/title",
+                                  telemetry=telemetry)
+        assert result.telemetry is telemetry
+
+    def test_session_execute(self, repository):
+        session = Session(repository)
+        telemetry = Telemetry(enabled=True)
+        with pytest.warns(DeprecationWarning,
+                          match="Session.execute\\(telemetry"):
+            result = session.execute("/library/book/title",
+                                     telemetry=telemetry)
+        assert result.telemetry is telemetry
+
+    def test_unknown_keyword_still_typeerror(self, repository):
+        engine = QueryEngine(repository)
+        with pytest.raises(TypeError):
+            engine.execute("/library/book", wrong_kwarg=1)
+
+    def test_new_api_emits_no_warning(self, repository, recwarn):
+        engine = QueryEngine(repository)
+        engine.execute("/library/book/title",
+                       ExecutionOptions(
+                           telemetry=Telemetry(enabled=True)))
+        deprecations = [w for w in recwarn.list
+                        if issubclass(w.category, DeprecationWarning)]
+        assert not deprecations
