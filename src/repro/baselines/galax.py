@@ -17,7 +17,7 @@ unmeasurable vs XQueC's ~2 s).
 
 from __future__ import annotations
 
-from repro.errors import QueryError
+from repro.errors import QueryError, QueryTypeError
 from repro.query.ast import (
     Arithmetic,
     Comparison,
@@ -162,7 +162,7 @@ def _order_key(key_expr: Expression, env: dict,
     atom = _atomize(sequence[0])
     try:
         return (0, _number(atom), "")
-    except (ValueError, TypeError):
+    except (ValueError, TypeError, QueryError):
         return (1, 0.0, _string(atom))
 
 
@@ -315,11 +315,15 @@ def _arithmetic(expr: Arithmetic, env: dict, document) -> list:
         return []
     a = _number(_atomize(left[0]))
     b = _number(_atomize(right[0]))
-    return [{
-        "+": a + b, "-": a - b, "*": a * b,
-        "div": a / b if b else float("inf"),
-        "mod": a % b if b else float("nan"),
-    }[expr.op]]
+    if expr.op == "+":
+        return [a + b]
+    if expr.op == "-":
+        return [a - b]
+    if expr.op == "*":
+        return [a * b]
+    if b == 0.0:
+        raise QueryTypeError(f"division by zero in {expr.op}")
+    return [a / b if expr.op == "div" else a % b]
 
 
 def _function(expr: FunctionCall, env: dict, document) -> list:
@@ -415,14 +419,24 @@ def _string(item) -> str:
 
 
 def _number(item) -> float:
-    if isinstance(item, Element):
-        return float(item.text())
-    if isinstance(item, bool):
-        return 1.0 if item else 0.0
-    return float(item)
+    try:
+        if isinstance(item, Element):
+            return float(item.text())
+        if isinstance(item, bool):
+            return 1.0 if item else 0.0
+        return float(item)
+    except ValueError as exc:
+        raise QueryTypeError(f"cannot convert to a number: {exc}") \
+            from exc
 
 
 def _format_number(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "INF"
+    if value == float("-inf"):
+        return "-INF"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)

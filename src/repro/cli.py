@@ -12,6 +12,8 @@ Commands mirror how the paper's system is used:
   (capture with ``query --record``);
 * ``lint-plan``  — statically verify the plans a query would run as;
 * ``lint-src``   — check engine-wide source invariants (Tier B lint);
+* ``verify``     — differential correctness oracle: compressed-domain
+  evaluation vs a decompress-first reference (CI ``verify-oracle``);
 * ``xmlgen``     — generate an XMark auction document.
 """
 
@@ -125,6 +127,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint_src.add_argument("--json", action="store_true",
                           help="emit diagnostics as JSON")
 
+    verify = commands.add_parser(
+        "verify",
+        help="differential oracle: compressed-domain evaluation vs a "
+             "decompress-first reference")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="everything derives from this (default 0)")
+    verify.add_argument("--docs", type=int, default=25,
+                        help="generated documents for the engine "
+                             "oracle (default 25)")
+    verify.add_argument("--queries", type=int, default=40,
+                        help="queries per document (default 40)")
+    verify.add_argument("--values", type=int, default=48,
+                        help="values per codec-oracle round "
+                             "(default 48)")
+    verify.add_argument("--rounds", type=int, default=3,
+                        help="codec-oracle rounds per codec "
+                             "(default 3)")
+    verify.add_argument("--scale", type=int, default=10,
+                        help="entities per generated document "
+                             "(default 10)")
+    verify.add_argument("--corpus-dir", type=Path, default=None,
+                        help="write minimized counterexamples here "
+                             "when mismatches are found")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+
     xmlgen = commands.add_parser(
         "xmlgen", help="generate an XMark auction document")
     xmlgen.add_argument("--factor", type=float, default=0.01,
@@ -147,6 +175,7 @@ def main(argv: list[str] | None = None,
         "workload": _cmd_workload,
         "lint-plan": _cmd_lint_plan,
         "lint-src": _cmd_lint_src,
+        "verify": _cmd_verify,
         "xmlgen": _cmd_xmlgen,
     }
     try:
@@ -395,6 +424,32 @@ def _cmd_lint_src(args, out) -> int:
         print(f"{len(diagnostics)} diagnostic(s) in "
               f"{len(paths)} path(s)", file=out)
     return 1 if diagnostics else 0
+
+
+def _cmd_verify(args, out) -> int:
+    from repro.verify import run_verify, write_corpus
+
+    def progress(stage: str, done: int, total: int) -> None:
+        if stage == "codec":
+            print("verify: codec oracle done", file=out, flush=True)
+        elif done == total or done % 5 == 0:
+            print(f"verify: engine oracle {done}/{total} documents",
+                  file=out, flush=True)
+
+    report = run_verify(seed=args.seed, docs=args.docs,
+                        queries=args.queries,
+                        codec_rounds=args.rounds,
+                        codec_values=args.values, scale=args.scale,
+                        progress=None if args.json else progress)
+    if args.json:
+        print(report.to_json(), file=out)
+    else:
+        print(report.render_text(), file=out)
+    if not report.ok and args.corpus_dir is not None:
+        written = write_corpus(report, args.corpus_dir)
+        print(f"wrote {len(written)} corpus file(s) to "
+              f"{args.corpus_dir}", file=out)
+    return 0 if report.ok else 1
 
 
 def _cmd_xmlgen(args, out) -> int:

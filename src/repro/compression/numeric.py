@@ -31,12 +31,21 @@ def is_canonical_int(text: str) -> bool:
 
 
 def is_canonical_float(text: str) -> bool:
-    """True when ``text`` round-trips through ``float`` unchanged."""
+    """True when ``text`` round-trips through ``float`` unchanged.
+
+    ``"-0.0"`` is excluded even though it round-trips: it *compares*
+    equal to ``0.0`` while the total-order transform encodes it
+    strictly below, so admitting it would break the bijection between
+    comparison order and compressed order that ``ineq``/``eq`` rely
+    on.  Containers holding ``"-0.0"`` stay string-typed instead.
+    """
     try:
         value = float(text)
     except ValueError:
         return False
     if math.isnan(value) or math.isinf(value):
+        return False
+    if value == 0.0 and text != "0.0":
         return False
     return repr(value) == text
 

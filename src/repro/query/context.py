@@ -191,7 +191,13 @@ def compare_items(op: str, left, right, stats: EvaluationStats) -> bool:
             stats.compressed_comparisons += 1
             equal = left.compressed == right.compressed
             return equal if op == "=" else not equal
-        if op in ("<", "<=", ">", ">=") and properties.ineq:
+        if op in ("<", "<=", ">", ">=") and properties.ineq \
+                and left.value_type == "string" \
+                and right.value_type == "string":
+            # Numeric containers are ordered numerically, but two
+            # untyped text nodes compare as *strings* in the reference
+            # semantics ("10" < "9"); only string containers may answer
+            # inequalities on their compressed order.
             stats.compressed_comparisons += 1
             return _ordered(op, left.compressed, right.compressed)
     if isinstance(left, CompressedItem) and \
@@ -234,6 +240,11 @@ def _compare_compressed_constant(op: str, item: CompressedItem,
         equal = item.compressed == encoded
         return equal if op == "=" else not equal
     if op in ("<", "<=", ">", ">=") and properties.ineq:
+        if isinstance(constant, str) and item.value_type != "string":
+            # A string constant orders *lexicographically* against
+            # untyped text ("10" < "9" is true); a numeric container's
+            # compressed order cannot answer that — decode instead.
+            return None
         encoded = item.codec.try_encode(text)
         if encoded is None:
             return None
@@ -251,7 +262,10 @@ def _constant_text(constant, value_type: str) -> str | None:
             return str(int(constant))
         return None  # e.g. 10.5 against an int container
     if value_type == "float":
-        return repr(float(constant))
+        value = float(constant)
+        if value == 0.0:
+            value = 0.0  # normalise -0.0: it compares equal to 0.0
+        return repr(value)
     return str(constant)
 
 
@@ -292,13 +306,13 @@ def _compare_decoded(op: str, left, right,
 
 
 def _to_python(item, stats: EvaluationStats):
+    # A decoded container value is *untyped text*, whatever the
+    # container's storage type: it becomes numeric only when compared
+    # against an actual number (the float branch above), exactly like
+    # the decompress-first reference.  Coercing by value_type here made
+    # "$a/age < $b/name" numeric on one side and broke string order.
     if isinstance(item, CompressedItem):
-        value = item.decode(stats)
-        if item.value_type == "int":
-            return float(value)
-        if item.value_type == "float":
-            return float(value)
-        return value
+        return item.decode(stats)
     return item
 
 
@@ -318,21 +332,35 @@ def string_value(item, stats: EvaluationStats) -> str:
 
 
 def number_value(item, stats: EvaluationStats) -> float:
-    """Numeric value of an atomic item."""
-    if isinstance(item, CompressedItem):
-        return float(item.decode(stats))
-    if isinstance(item, bool):
-        return 1.0 if item else 0.0
-    if isinstance(item, (int, float)):
-        return float(item)
-    if isinstance(item, str):
-        return float(item)
-    if isinstance(item, Element):
-        return float(item.text())
+    """Numeric value of an atomic item.
+
+    Raises :class:`QueryTypeError` (never a bare ``ValueError``) when
+    the item's text does not parse as a number.
+    """
+    try:
+        if isinstance(item, CompressedItem):
+            return float(item.decode(stats))
+        if isinstance(item, bool):
+            return 1.0 if item else 0.0
+        if isinstance(item, (int, float)):
+            return float(item)
+        if isinstance(item, str):
+            return float(item)
+        if isinstance(item, Element):
+            return float(item.text())
+    except ValueError as exc:
+        raise QueryTypeError(f"cannot convert to a number: {exc}") \
+            from exc
     raise QueryTypeError(f"no numeric value for {item!r}")
 
 
 def _format_number(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "INF"
+    if value == float("-inf"):
+        return "-INF"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
-from repro.errors import QueryError
+from repro.errors import QueryError, QueryTypeError
 from repro.obs import runtime
 from repro.obs.telemetry import Telemetry
 from repro.query.ast import (
@@ -50,6 +50,7 @@ from repro.query.context import (
     CompressedItem,
     EvaluationStats,
     NodeItem,
+    _format_number,
     compare_items,
     effective_boolean,
     number_value,
@@ -434,8 +435,12 @@ class _Evaluator:
         if expr.op == "*":
             return [a * b]
         if expr.op == "div":
+            if b == 0.0:
+                raise QueryTypeError("division by zero in div")
             return [a / b]
         if expr.op == "mod":
+            if b == 0.0:
+                raise QueryTypeError("division by zero in mod")
             return [a % b]
         raise QueryError(f"unknown arithmetic operator {expr.op!r}")
 
@@ -632,6 +637,11 @@ class _Evaluator:
             container = repo.container(leaf.container_path)
             numeric = container.value_type in ("int", "float")
             if numeric:
+                if plan.constant_kind == "string":
+                    # A string constant orders lexicographically
+                    # against untyped text; the container's numeric
+                    # sort order cannot answer it — fall back.
+                    return None
                 # Numeric sort order: every bound must parse as a number.
                 for bound in (plan.low, plan.high):
                     if bound is None:
@@ -1004,7 +1014,3 @@ def _test_matches_root(step: Step, root_tag: str) -> bool:
     return step.test == "*" or step.test == root_tag
 
 
-def _format_number(value: float) -> str:
-    if value == int(value) and abs(value) < 1e15:
-        return str(int(value))
-    return repr(value)

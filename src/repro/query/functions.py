@@ -27,10 +27,14 @@ def fn_contains(args: list[list], stats: EvaluationStats) -> list:
 def fn_starts_with(args: list[list], stats: EvaluationStats) -> list:
     _require_arity("starts-with", args, 2)
     sequence, prefix_seq = args
-    if not sequence:
-        return [False]
-    item = sequence[0]
     prefix_item = prefix_seq[0] if prefix_seq else ""
+    if not sequence:
+        # Empty sequence has string value "": only the empty prefix
+        # matches (mirrors the decompress-first reference).
+        prefix = (prefix_item if isinstance(prefix_item, str)
+                  else string_value(prefix_item, stats))
+        return [prefix == ""]
+    item = sequence[0]
     # Compressed-domain prefix match (the ``wild`` property): the code
     # of a string prefix is a bit-prefix of the full string's code.
     if isinstance(item, CompressedItem) and isinstance(prefix_item, str) \
@@ -144,12 +148,30 @@ def fn_data(args: list[list], stats: EvaluationStats) -> list:
 
 def fn_distinct_values(args: list[list], stats: EvaluationStats) -> list:
     _require_arity("distinct-values", args, 1)
+    items = args[0]
+    # Compressed fast path: when every item comes from one source
+    # model, bit-equality is value-equality and nothing decodes.  A
+    # sequence mixing codecs — or mixing compressed and plain items —
+    # must dedupe on the decoded value: the same string reached through
+    # two containers (or as a literal) is one distinct value.
+    shared_codec = None
+    all_compressed = True
+    for item in items:
+        if isinstance(item, CompressedItem):
+            if shared_codec is None:
+                shared_codec = item.codec
+            elif item.codec is not shared_codec:
+                all_compressed = False
+                break
+        else:
+            all_compressed = False
+            break
     seen: set = set()
     result: list = []
-    for item in args[0]:
-        # CompressedItems under one codec dedupe without decoding.
+    for item in items:
         if isinstance(item, CompressedItem):
-            key = (id(item.codec), item.compressed)
+            key = (item.compressed if all_compressed
+                   else item.decode(stats))
         else:
             key = item
         if key not in seen:

@@ -68,6 +68,35 @@ class ValueContainer:
             return float(value)
         return value
 
+    def _bound_key(self, bound: str):
+        """Comparison key for a query-supplied interval *bound*.
+
+        Stored values always parse under the container's elementary
+        type (the loader infers ``int``/``float`` only when every value
+        round-trips), but bounds arrive from query constants and need
+        not: an ``int`` container is legitimately probed with ``"9.5"``
+        (``age < 9.5``).  Numeric containers therefore fall back to a
+        ``float`` key for non-integer bounds — Python compares ``int``
+        and ``float`` keys exactly, so mixing them in one bisect is
+        sound.  A bound that does not parse as a number at all violates
+        the :meth:`interval_search` contract and raises
+        :class:`~repro.errors.StorageError`.
+        """
+        if self.value_type == "int":
+            try:
+                return int(bound)
+            except ValueError:
+                pass
+        if self.value_type in ("int", "float"):
+            try:
+                return float(bound)
+            except ValueError:
+                raise StorageError(
+                    f"container {self.path!r} has {self.value_type} "
+                    f"values; interval bound {bound!r} is not numeric"
+                ) from None
+        return bound
+
     # -- loading phase ------------------------------------------------------
 
     def add_value(self, value: str, parent_id: int) -> None:
@@ -235,9 +264,28 @@ class ValueContainer:
                         ) -> Iterator[tuple[int, CompressedValue]]:
         """``ContAccess``: records whose value lies in the interval.
 
+        Contract (the plaintext reference the verify oracle checks
+        against):
+
+        * ``low``/``high`` are plain strings (query constants) or
+          ``None`` meaning unbounded on that side; ``(None, None)``
+          yields every record.  The empty string is an ordinary bound
+          (the smallest string), not an "unset" marker.
+        * Bounds compare against stored values under the container's
+          elementary type: string containers lexicographically, ``int``
+          / ``float`` containers numerically.  Numeric containers accept
+          any numeric bound text — an ``int`` container probed with
+          ``"9.5"`` compares ``value < 9.5`` exactly; a non-numeric
+          bound over a numeric container raises
+          :class:`~repro.errors.StorageError`.
+        * ``low_inclusive``/``high_inclusive`` pick ``<=`` vs ``<`` on
+          each side independently; a record equal to an exclusive bound
+          is dropped.  Results come back in value order, duplicates
+          preserved.
+
         Order-preserving codecs binary-search on compressed bytes;
         order-agnostic ones binary-search by decompressing the O(log n)
-        probe pivots.  Bounds are plain strings (query constants).
+        probe pivots.
         """
         self._require_sealed()
         if runtime.ACTIVE is not None:
@@ -248,8 +296,8 @@ class ValueContainer:
         if self._blob is not None:
             # XMill-style chunk: no random access; filter a full scan.
             key = self._compare_key
-            k_low = key(low) if low is not None else None
-            k_high = key(high) if high is not None else None
+            k_low = self._bound_key(low) if low is not None else None
+            k_high = self._bound_key(high) if high is not None else None
             for parent, value in self.scan_decoded():
                 if _in_interval(key(value), k_low, k_high,
                                 low_inclusive, high_inclusive):
@@ -314,12 +362,14 @@ class ValueContainer:
         view = _Probe(self._records)
         start = 0
         if low is not None:
-            start = (bisect.bisect_left(view, key(low)) if low_inclusive
-                     else bisect.bisect_right(view, key(low)))
+            k_low = self._bound_key(low)
+            start = (bisect.bisect_left(view, k_low) if low_inclusive
+                     else bisect.bisect_right(view, k_low))
         end = len(self._records)
         if high is not None:
-            end = (bisect.bisect_right(view, key(high)) if high_inclusive
-                   else bisect.bisect_left(view, key(high)))
+            k_high = self._bound_key(high)
+            end = (bisect.bisect_right(view, k_high) if high_inclusive
+                   else bisect.bisect_left(view, k_high))
         for record in self._records[start:end]:
             yield record.parent_id, record.compressed
 

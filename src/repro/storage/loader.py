@@ -38,7 +38,11 @@ def infer_value_type(values: Iterable[str]) -> str:
     """XPRESS-style elementary type inference for a container.
 
     ``int``/``float`` only when *every* value round-trips canonically,
-    so compression stays lossless.
+    so compression stays lossless.  A container mixing the two text
+    forms (``"500"`` and ``"5.5"``) stays ``string``: the float codec's
+    canonical domain would rewrite ``"500"`` to ``"500.0"`` on decode,
+    which is lossy, and the reference comparison semantics for untyped
+    text are lexicographic anyway.
     """
     from repro.compression.numeric import (
         is_canonical_float,
@@ -51,8 +55,7 @@ def infer_value_type(values: Iterable[str]) -> str:
         saw_any = True
         if all_int and not is_canonical_int(value):
             all_int = False
-        if all_float and not (is_canonical_float(value)
-                              or is_canonical_int(value)):
+        if all_float and not is_canonical_float(value):
             all_float = False
         if not all_int and not all_float:
             return "string"

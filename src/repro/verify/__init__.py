@@ -1,0 +1,43 @@
+"""Differential correctness oracle for compressed-domain evaluation.
+
+The paper's central claim (§3–§4) is that predicates run *in the
+compressed domain* — Huffman ``eq``/``wild``, ALM ``eq``/``ineq``,
+binary search over sorted compressed containers — and that only final
+results decompress.  This package proves those paths agree with
+plaintext evaluation, at two layers:
+
+* the **codec oracle** (:mod:`repro.verify.codec_oracle`) exercises
+  every registered codec with adversarial value sets and checks
+  round-trip identity, order preservation, every advertised
+  ``eq``/``ineq``/``wild`` predicate, and
+  :meth:`~repro.storage.containers.ValueContainer.interval_search`
+  end-point semantics against a plaintext reference;
+* the **engine oracle** (:mod:`repro.verify.engine_oracle`) runs
+  generated XMark-ish documents × generated query templates through
+  the compressed-domain :class:`~repro.query.engine.QueryEngine` and
+  through a forced decompress-first reference path
+  (:class:`~repro.baselines.galax.GalaxEngine` over the reconstructed
+  document), and diffs the results.
+
+Failures are delta-debugged down to minimal value sets / documents
+(:mod:`repro.verify.minimize`) and reported with the codec, container
+and plan node responsible (:mod:`repro.verify.report`).  The ``repro
+verify`` CLI subcommand and the ``verify-oracle`` CI job drive
+:func:`repro.verify.runner.run_verify` with a fixed seed.
+"""
+
+from repro.verify.codec_oracle import run_codec_oracle
+from repro.verify.engine_oracle import run_engine_oracle
+from repro.verify.minimize import ddmin
+from repro.verify.report import Mismatch, VerifyReport, write_corpus
+from repro.verify.runner import run_verify
+
+__all__ = [
+    "Mismatch",
+    "VerifyReport",
+    "ddmin",
+    "run_codec_oracle",
+    "run_engine_oracle",
+    "run_verify",
+    "write_corpus",
+]

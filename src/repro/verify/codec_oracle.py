@@ -1,0 +1,341 @@
+"""Codec-layer differential oracle.
+
+For every codec in the registry this checks, against a plaintext
+reference computed with ordinary Python string/number operations:
+
+* **round-trip** — ``decode(encode(v)) == v`` and encoding is
+  deterministic (compressed-domain ``eq`` relies on it);
+* **eq** — when the codec advertises ``eq``: bit-equality of encodings
+  iff value equality, and ``try_encode(c) is None`` implies ``c`` was
+  not a trained value;
+* **ineq** — when the codec advertises ``ineq`` (order preservation):
+  sorting by compressed value equals sorting by the plaintext key
+  (lexicographic for string codecs, numeric for ``integer``/``float``);
+* **wild** — when the codec advertises ``wild``: the bit-prefix test
+  :meth:`~repro.compression.base.CompressedValue.starts_with` agrees
+  with ``str.startswith`` for every (value, probe) pair, including
+  probes whose code ends mid-codeword and mid-byte;
+* **interval** — a :class:`~repro.storage.containers.ValueContainer`
+  sealed with the codec answers ``interval_search`` exactly like a
+  plaintext filter, for every inclusive/exclusive bound combination,
+  ``None`` (unbounded) and empty-string bounds, and numeric bounds in
+  the "wrong" text shape (fractional over int containers, ``"7"`` over
+  float containers).
+
+A failing check is delta-debugged to a minimal value set before being
+reported.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.compression.base import Codec
+from repro.compression.registry import available_codecs, train_codec
+from repro.errors import XQueCError
+from repro.storage.containers import ValueContainer
+from repro.verify.minimize import ddmin
+from repro.verify.report import Mismatch, VerifyReport
+from repro.verify.values import (
+    float_values,
+    int_values,
+    interval_bounds,
+    prefix_probes,
+    string_values,
+)
+
+#: elementary type of the values each codec is trained on.
+CODEC_DOMAINS: dict[str, str] = {
+    "integer": "int",
+    "float": "float",
+}
+
+_INCLUSIVITY = ((True, True), (True, False), (False, True),
+                (False, False))
+
+
+def _domain_of(codec_name: str) -> str:
+    return CODEC_DOMAINS.get(codec_name, "string")
+
+
+def _reference_key(value_type: str) -> Callable[[str], object]:
+    if value_type == "int":
+        return lambda text: int(text)
+    if value_type == "float":
+        return lambda text: float(text)
+    return lambda text: text
+
+
+def _bound_reference_key(value_type: str) -> Callable[[str], object]:
+    """Key for interval *bounds* — mirrors the documented contract."""
+    if value_type == "int":
+        def key(text: str):
+            try:
+                return int(text)
+            except ValueError:
+                return float(text)
+        return key
+    return _reference_key(value_type)
+
+
+def _values_for(codec_name: str, rng: random.Random,
+                count: int) -> list[str]:
+    domain = _domain_of(codec_name)
+    if domain == "int":
+        return int_values(rng, count)
+    if domain == "float":
+        return float_values(rng, count)
+    return string_values(rng, count)
+
+
+def check_codec(codec_name: str, values: list[str],
+                rng: random.Random, report: VerifyReport) -> None:
+    """Run every check for one codec over one value set."""
+    domain = _domain_of(codec_name)
+    try:
+        codec = train_codec(codec_name, values)
+    except XQueCError as exc:
+        report.checks_run += 1
+        report.add(_mismatch(codec_name, "round-trip", values,
+                             f"training failed: {exc}"))
+        return
+    checks = [("round-trip", lambda: _check_roundtrip(
+        codec_name, codec, values, report))]
+    if codec.properties.eq:
+        checks.append(("eq", lambda: _check_eq(
+            codec_name, codec, values, rng, report)))
+    if codec.properties.ineq:
+        checks.append(("ineq", lambda: _check_order(
+            codec_name, codec, values, domain, report)))
+    if codec.properties.wild:
+        checks.append(("wild", lambda: _check_wild(
+            codec_name, codec, values, rng, report)))
+    checks.append(("interval", lambda: _check_interval(
+        codec_name, values, domain, rng, report)))
+    for check_name, run in checks:
+        try:
+            run()
+        except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+            report.add(_mismatch(
+                codec_name, check_name, values,
+                f"check crashed: {type(exc).__name__}: {exc}"))
+
+
+def run_codec_oracle(seed: int, rounds: int = 3,
+                     values_per_round: int = 48,
+                     codecs: list[str] | None = None) -> VerifyReport:
+    """Codec oracle over every registered codec (or ``codecs``)."""
+    report = VerifyReport(seed=seed)
+    names = codecs if codecs is not None else available_codecs()
+    for codec_name in names:
+        for round_index in range(rounds):
+            rng = random.Random(f"{seed}/{codec_name}/{round_index}")
+            values = _values_for(codec_name, rng, values_per_round)
+            check_codec(codec_name, values, rng, report)
+    return report
+
+
+# -- individual checks --------------------------------------------------------
+
+
+def _mismatch(codec_name: str, check: str, values: list[str],
+              description: str, **extra) -> Mismatch:
+    reproducer = {"values": list(values)}
+    reproducer.update(extra)
+    return Mismatch(layer="codec", check=check, codec=codec_name,
+                    description=description, reproducer=reproducer)
+
+
+def _shrink(codec_name: str, values: list[str],
+            failing: Callable[[list[str]], bool]) -> list[str]:
+    """Minimize ``values`` for a failing check (training included)."""
+    def wrapped(subset: list[str]) -> bool:
+        try:
+            return failing(subset)
+        except XQueCError:
+            return False
+    return ddmin(values, wrapped)
+
+
+def _check_roundtrip(codec_name: str, codec: Codec, values: list[str],
+                     report: VerifyReport) -> None:
+    report.checks_run += 1
+
+    def fails(subset: list[str]) -> bool:
+        trained = train_codec(codec_name, subset)
+        return any(trained.decode(trained.encode(v)) != v
+                   or trained.encode(v) != trained.encode(v)
+                   for v in subset)
+
+    for value in values:
+        first = codec.encode(value)
+        if codec.decode(first) != value or codec.encode(value) != first:
+            minimal = _shrink(codec_name, values, fails)
+            report.add(_mismatch(
+                codec_name, "round-trip", minimal,
+                f"decode(encode({value!r})) != {value!r} or "
+                f"non-deterministic encoding"))
+            return
+
+
+def _check_eq(codec_name: str, codec: Codec, values: list[str],
+              rng: random.Random, report: VerifyReport) -> None:
+    report.checks_run += 1
+    encoded = {value: codec.encode(value) for value in set(values)}
+    pairs = list(encoded.items())
+    for value_a, bits_a in pairs:
+        for value_b, bits_b in pairs:
+            if (bits_a == bits_b) != (value_a == value_b):
+                def fails(subset: list[str]) -> bool:
+                    trained = train_codec(codec_name, subset)
+                    return value_a in subset and value_b in subset and \
+                        (trained.encode(value_a) ==
+                         trained.encode(value_b)) != (value_a == value_b)
+                minimal = _shrink(codec_name, values, fails)
+                report.add(_mismatch(
+                    codec_name, "eq", minimal,
+                    f"encode({value_a!r}) vs encode({value_b!r}) "
+                    f"disagrees with plaintext equality"))
+                return
+    # Out-of-model constants must never claim equality with a value.
+    for probe in ("ÿÿ", "", "completely-absent"):
+        compressed = codec.try_encode(probe)
+        if compressed is None and probe in encoded:
+            report.add(_mismatch(
+                codec_name, "eq", values,
+                f"try_encode({probe!r}) is None but the value was "
+                f"trained — eq would wrongly report 'no match'"))
+            return
+
+
+def _check_order(codec_name: str, codec: Codec, values: list[str],
+                 domain: str, report: VerifyReport) -> None:
+    report.checks_run += 1
+    key = _reference_key(domain)
+    by_code = sorted(values, key=codec.encode)
+    expected = sorted(key(v) for v in values)
+    got = [key(v) for v in by_code]
+    if got != expected:
+        def fails(subset: list[str]) -> bool:
+            trained = train_codec(codec_name, subset)
+            ordered = sorted(subset, key=trained.encode)
+            return [key(v) for v in ordered] != \
+                sorted(key(v) for v in subset)
+        minimal = _shrink(codec_name, values, fails)
+        report.add(_mismatch(
+            codec_name, "ineq", minimal,
+            "compressed order diverges from plaintext sorted() "
+            "(order-preservation violated)"))
+
+
+def _check_wild(codec_name: str, codec: Codec, values: list[str],
+                rng: random.Random, report: VerifyReport) -> None:
+    report.checks_run += 1
+    probes = prefix_probes(values, rng)
+    unaligned = 0
+    for probe in probes:
+        encoded_probe = codec.try_encode(probe)
+        if encoded_probe is not None and encoded_probe.bits % 8:
+            unaligned += 1
+        for value in values:
+            compressed = codec.encode(value)
+            expected = value.startswith(probe)
+            if encoded_probe is None:
+                # Out-of-model probe: no trained value can start with it.
+                got = False
+            else:
+                got = compressed.starts_with(encoded_probe)
+            if got != expected:
+                def fails(subset: list[str]) -> bool:
+                    trained = train_codec(codec_name, subset)
+                    if value not in subset:
+                        return False
+                    enc = trained.try_encode(probe)
+                    res = (False if enc is None
+                           else trained.encode(value).starts_with(enc))
+                    return res != value.startswith(probe)
+                minimal = _shrink(codec_name, values, fails)
+                report.add(_mismatch(
+                    codec_name, "wild", minimal,
+                    f"starts_with({probe!r}) on {value!r}: compressed "
+                    f"says {got}, plaintext says {expected}",
+                    probe=probe, value=value))
+                return
+    if not unaligned:
+        report.notes.append(
+            f"{codec_name}: no non-byte-aligned wild probe generated "
+            f"this round (coverage gap, not a mismatch)")
+
+
+def _build_container(codec_name: str, values: list[str],
+                     domain: str) -> ValueContainer:
+    container = ValueContainer(f"verify://{codec_name}",
+                               value_type=domain)
+    for index, value in enumerate(values):
+        container.add_value(value, index)
+    container.seal(train_codec(codec_name, values))
+    return container
+
+
+def _check_interval(codec_name: str, values: list[str], domain: str,
+                    rng: random.Random, report: VerifyReport) -> None:
+    report.checks_run += 1
+    key = _reference_key(domain)
+    bound_key = _bound_reference_key(domain)
+    container = _build_container(codec_name, values, domain)
+    codec = container.codec
+    for low in interval_bounds(values, domain, rng):
+        for high in interval_bounds(values, domain, rng):
+            for low_inc, high_inc in _INCLUSIVITY:
+                got_keys = sorted(
+                    key(codec.decode(compressed)) for _, compressed in
+                    container.interval_search(low, high, low_inc,
+                                              high_inc))
+                expected_keys = sorted(
+                    key(v) for v in values
+                    if _in_reference_interval(
+                        key(v), low, high, low_inc, high_inc,
+                        bound_key))
+                if got_keys != expected_keys:
+                    def fails(subset: list[str]) -> bool:
+                        sub = _build_container(codec_name, subset,
+                                               domain)
+                        sub_got = sorted(
+                            key(sub.codec.decode(c)) for _, c in
+                            sub.interval_search(low, high, low_inc,
+                                                high_inc))
+                        sub_exp = sorted(
+                            key(v) for v in subset
+                            if _in_reference_interval(
+                                key(v), low, high, low_inc, high_inc,
+                                bound_key))
+                        return sub_got != sub_exp
+                    minimal = _shrink(codec_name, values, fails)
+                    report.add(Mismatch(
+                        layer="codec", check="interval",
+                        codec=codec_name,
+                        container=container.path,
+                        plan_node="ContAccess",
+                        description=(
+                            f"interval_search(low={low!r}, "
+                            f"high={high!r}, {low_inc}/{high_inc}) "
+                            f"disagrees with the plaintext filter"),
+                        reproducer={"values": minimal, "low": low,
+                                    "high": high,
+                                    "low_inclusive": low_inc,
+                                    "high_inclusive": high_inc}))
+                    return
+
+
+def _in_reference_interval(value_key, low, high, low_inc, high_inc,
+                           bound_key) -> bool:
+    if low is not None:
+        low_k = bound_key(low)
+        if value_key < low_k or (not low_inc and value_key == low_k):
+            return False
+    if high is not None:
+        high_k = bound_key(high)
+        if value_key > high_k or (not high_inc and value_key == high_k):
+            return False
+    return True

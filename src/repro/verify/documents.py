@@ -1,0 +1,106 @@
+"""XMark-ish document generation for the engine oracle.
+
+Documents are generated as an *entity list* first and rendered to XML
+second, so the minimizer can drop entities and re-render: a mismatch
+shrinks to the fewest people/items/auctions that still reproduce it.
+
+The value distributions are chosen to hit every engine path the sweep
+exercises: string containers with shared prefixes, empty and non-ASCII
+values (ALM/Huffman ``eq``/``wild``), pure-int and pure-float
+containers (numeric codecs, ``ContAccess`` over numeric order), a
+*mixed* int/float container (the type-inference edge), and join keys
+between auctions and people.
+"""
+
+from __future__ import annotations
+
+import random
+
+_NAMES = ("ada", "ada", "adam", "bob", "bo", "eve", "evelyn", "",
+          "rené", "andré", "Åsa", "小林", "mallory")
+_CITIES = ("rome", "roma", "oslo", "kiev", "kyoto", "", "lyon")
+_WORDS = ("gold", "golden", "silver", "old", "bold", "rare", "rarely",
+          "fine", "antique", "brass")
+
+
+def generate_entities(rng: random.Random, scale: int = 10) -> dict:
+    """Entity lists for one document; deterministic in ``rng``."""
+    people = []
+    for index in range(max(2, scale)):
+        people.append({
+            "id": f"p{index}",
+            "name": rng.choice(_NAMES),
+            "age": str(rng.choice((5, 7, 9, 10, 12, 31, 47,
+                                   rng.randint(0, 99)))),
+            "city": rng.choice(_CITIES),
+            # Canonical float texts: a pure-float container.
+            "income": repr(rng.choice((0.5, 9.25, 100.5, 1200.75,
+                                       round(rng.uniform(0, 5e4), 2)))),
+        })
+    items = []
+    for index in range(max(1, scale // 2)):
+        words = rng.sample(_WORDS, k=rng.randint(1, 4))
+        items.append({
+            "id": f"i{index}",
+            "name": rng.choice(_WORDS),
+            "description": " ".join(words),
+        })
+    auctions = []
+    for index in range(max(1, scale // 2)):
+        # price mixes int and float text shapes on purpose (the
+        # container must stay string-typed and still answer queries).
+        price = rng.choice((str(rng.randint(1, 999)),
+                            repr(round(rng.uniform(1, 999), 1))))
+        auctions.append({
+            "buyer": rng.choice(people)["id"],
+            "item": rng.choice(items)["id"],
+            "price": price,
+            "quantity": str(rng.randint(1, 9)),
+        })
+    return {"people": people, "items": items, "auctions": auctions}
+
+
+def entity_list(entities: dict) -> list[tuple[str, dict]]:
+    """Flatten to (kind, record) pairs — the minimizer's item list."""
+    return ([("person", p) for p in entities["people"]] +
+            [("item", i) for i in entities["items"]] +
+            [("auction", a) for a in entities["auctions"]])
+
+
+def from_entity_list(pairs: list[tuple[str, dict]]) -> dict:
+    """Inverse of :func:`entity_list` (minimized subsets included)."""
+    return {
+        "people": [r for kind, r in pairs if kind == "person"],
+        "items": [r for kind, r in pairs if kind == "item"],
+        "auctions": [r for kind, r in pairs if kind == "auction"],
+    }
+
+
+def render_xml(entities: dict) -> str:
+    """Render the entity lists as one XMark-flavoured document."""
+    parts = ["<site><people>"]
+    for person in entities["people"]:
+        parts.append(
+            f'<person id="{person["id"]}">'
+            f'<name>{person["name"]}</name>'
+            f'<age>{person["age"]}</age>'
+            f'<city>{person["city"]}</city>'
+            f'<income>{person["income"]}</income>'
+            f'</person>')
+    parts.append("</people><regions>")
+    for item in entities["items"]:
+        parts.append(
+            f'<item id="{item["id"]}">'
+            f'<name>{item["name"]}</name>'
+            f'<description>{item["description"]}</description>'
+            f'</item>')
+    parts.append("</regions><closed_auctions>")
+    for auction in entities["auctions"]:
+        parts.append(
+            f'<auction><buyer>{auction["buyer"]}</buyer>'
+            f'<itemref>{auction["item"]}</itemref>'
+            f'<price>{auction["price"]}</price>'
+            f'<quantity>{auction["quantity"]}</quantity>'
+            f'</auction>')
+    parts.append("</closed_auctions></site>")
+    return "".join(parts)

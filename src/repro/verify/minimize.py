@@ -1,0 +1,61 @@
+"""Delta debugging: shrink a failing input to a minimal one.
+
+Classic ``ddmin`` (Zeller & Hildebrandt, "Simplifying and Isolating
+Failure-Inducing Input"): partition the items into chunks, try to
+reproduce the failure on each chunk and on each complement, and refine
+the granularity until no single item can be removed.
+
+The oracle minimizes two kinds of inputs with this: a codec check's
+value set, and an engine check's document entity list (re-rendered to
+XML per attempt).  The predicate is arbitrary, so the same routine
+serves both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+
+def ddmin(items: Sequence, failing: Callable[[list], bool],
+          max_attempts: int = 2000) -> list:
+    """Smallest sublist of ``items`` on which ``failing`` still holds.
+
+    ``failing(subset)`` must return True for the full list; the result
+    is 1-minimal (removing any single remaining item makes the failure
+    disappear) unless ``max_attempts`` predicate evaluations run out
+    first, in which case the best reduction so far is returned.
+    Predicates that raise are treated as "not failing" so a flaky
+    reproducer cannot crash the minimizer.
+    """
+    current = list(items)
+    attempts = 0
+
+    def check(subset: list) -> bool:
+        nonlocal attempts
+        attempts += 1
+        try:
+            return bool(failing(subset))
+        except Exception:
+            return False
+
+    granularity = 2
+    while len(current) >= 2 and attempts < max_attempts:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and attempts < max_attempts:
+            complement = current[:start] + current[start + chunk:]
+            if complement and check(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-scan from the front at the same granularity.
+                start = 0
+                chunk = max(1, len(current) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current

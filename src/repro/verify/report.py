@@ -1,0 +1,113 @@
+"""Verification results: mismatch records, reports, counterexample corpus.
+
+A :class:`Mismatch` is one verified disagreement between the
+compressed-domain evaluation and the plaintext reference, already
+minimized and annotated with the codec, container and plan node
+responsible.  A :class:`VerifyReport` aggregates a whole oracle run;
+:func:`write_corpus` dumps the minimized reproducers as JSON files (the
+artifact CI uploads when the ``verify-oracle`` job fails).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Mismatch:
+    """One minimized compressed-vs-plaintext disagreement."""
+
+    layer: str                 #: ``"codec"`` or ``"engine"``
+    check: str                 #: e.g. ``"round-trip"``, ``"wild"``, ``"query"``
+    codec: str                 #: codec name(s) involved
+    description: str           #: human-readable one-liner
+    container: str | None = None   #: container path, when one is known
+    plan_node: str | None = None   #: physical operator blamed
+    reproducer: dict = field(default_factory=dict)  #: minimized repro input
+
+    def as_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "check": self.check,
+            "codec": self.codec,
+            "container": self.container,
+            "plan_node": self.plan_node,
+            "description": self.description,
+            "reproducer": self.reproducer,
+        }
+
+    def headline(self) -> str:
+        where = f" container={self.container}" if self.container else ""
+        node = f" plan={self.plan_node}" if self.plan_node else ""
+        return (f"[{self.layer}/{self.check}] codec={self.codec}"
+                f"{where}{node}: {self.description}")
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate outcome of one oracle run."""
+
+    seed: int
+    checks_run: int = 0
+    mismatches: list[Mismatch] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def add(self, mismatch: Mismatch) -> None:
+        self.mismatches.append(mismatch)
+
+    def merge(self, other: "VerifyReport") -> None:
+        self.checks_run += other.checks_run
+        self.mismatches.extend(other.mismatches)
+        self.notes.extend(other.notes)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "checks_run": self.checks_run,
+            "ok": self.ok,
+            "mismatches": [m.as_dict() for m in self.mismatches],
+            "notes": self.notes,
+        }, indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [f"verify: seed={self.seed} checks={self.checks_run} "
+                 f"mismatches={len(self.mismatches)}"]
+        lines += [f"  note: {note}" for note in self.notes]
+        for mismatch in self.mismatches:
+            lines.append("  " + mismatch.headline())
+            for key, value in sorted(mismatch.reproducer.items()):
+                rendered = repr(value)
+                if len(rendered) > 200:
+                    rendered = rendered[:200] + "…"
+                lines.append(f"    {key}: {rendered}")
+        if self.ok:
+            lines.append("  all compressed-domain results match the "
+                         "plaintext reference")
+        return "\n".join(lines)
+
+
+def write_corpus(report: VerifyReport, directory: Path) -> list[Path]:
+    """Dump each minimized counterexample as one JSON file.
+
+    Returns the paths written; also writes a ``summary.json`` with the
+    whole report so the CI artifact is self-contained.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for index, mismatch in enumerate(report.mismatches):
+        path = directory / (f"counterexample-{index:03d}-"
+                            f"{mismatch.layer}-{mismatch.check}.json")
+        path.write_text(json.dumps(mismatch.as_dict(), indent=2,
+                                   sort_keys=True), encoding="utf-8")
+        written.append(path)
+    summary = directory / "summary.json"
+    summary.write_text(report.to_json(), encoding="utf-8")
+    written.append(summary)
+    return written

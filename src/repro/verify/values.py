@@ -1,0 +1,140 @@
+"""Adversarial value-set generation for the codec oracle.
+
+Each generator is deterministic in its :class:`random.Random` instance
+and skews toward the inputs that historically break codecs:
+
+* the empty string, and values sharing long common prefixes (the cases
+  that stress prefix-``wild`` bit alignment and ALM's dictionary-token
+  segmentation);
+* non-ASCII text (multi-byte UTF-8 has no special status in the
+  codecs: everything is per-character code assignment);
+* boundary numerics: zeros, sign changes, adjacent integers, canonical
+  vs non-canonical float text, huge magnitudes.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: small alphabets make shared prefixes and mid-codeword boundaries
+#: overwhelmingly likely.
+_ALPHABETS = (
+    "ab",
+    "abc",
+    "abz",
+    " ab",           # leading/embedded spaces
+    "aàé",           # Latin + accented (2-byte UTF-8)
+    "a日本",          # ASCII + CJK (3-byte UTF-8)
+    "01.",           # numeric-looking strings that are NOT numbers
+)
+
+_SEED_STRINGS = (
+    "", "a", "aa", "aaa", "ab", "aba", "abb", "b", "ba",
+    "café", "naïve", "日本語", "Ωmega", "über",
+    "007", "1e3", "-0", "3.14", " 7", "7 ",
+)
+
+
+def string_values(rng: random.Random, count: int) -> list[str]:
+    """An adversarial multiset of strings (duplicates intended)."""
+    alphabet = rng.choice(_ALPHABETS)
+    values = list(rng.sample(_SEED_STRINGS, k=min(8, len(_SEED_STRINGS))))
+    while len(values) < count:
+        length = rng.randint(0, 6)
+        word = "".join(rng.choice(alphabet) for _ in range(length))
+        values.append(word)
+        # Shared-prefix pressure: extend an existing value half the time.
+        if values and rng.random() < 0.5:
+            base = rng.choice(values)
+            values.append(base + rng.choice(alphabet))
+    rng.shuffle(values)
+    return values[:max(count, 1)]
+
+
+def int_values(rng: random.Random, count: int) -> list[str]:
+    """Canonical integer texts with boundary clustering."""
+    seeds = [0, 1, -1, 2, 9, 10, 99, 100, -100,
+             2**31 - 1, -2**31, 2**63, rng.randint(-10**6, 10**6)]
+    values = [str(rng.choice(seeds)) for _ in range(max(count // 2, 4))]
+    anchor = rng.randint(-50, 50)
+    values += [str(anchor + delta)
+               for delta in range(min(count - len(values), 8))]
+    while len(values) < count:
+        values.append(str(rng.randint(-10**4, 10**4)))
+    rng.shuffle(values)
+    return values
+
+
+def float_values(rng: random.Random, count: int) -> list[str]:
+    """Canonical float texts (``repr`` round-trip) with boundaries."""
+    seeds = [0.0, 0.5, -0.5, 1.5, -1.5, 0.1, -0.1,
+             1e-07, 1e15, -1e15, 123456.75]
+    values = [repr(rng.choice(seeds)) for _ in range(max(count // 2, 4))]
+    while len(values) < count:
+        values.append(repr(round(rng.uniform(-1000, 1000), 3)))
+    rng.shuffle(values)
+    return values
+
+
+def prefix_probes(values: list[str], rng: random.Random,
+                  limit: int = 40) -> list[str]:
+    """Probe prefixes for the ``wild`` check.
+
+    Every prefix of every (sampled) value — so true matches at every
+    codeword boundary — plus near-misses: a true prefix with its last
+    character swapped, which shares leading code *bits* without being a
+    string prefix (the false-positive trap).
+    """
+    probes: set[str] = {""}
+    alphabet = sorted({ch for v in values for ch in v})
+    pool = list(values)
+    rng.shuffle(pool)
+    for value in pool[:12]:
+        for end in range(1, len(value) + 1):
+            probes.add(value[:end])
+            if alphabet:
+                swapped = value[:end - 1] + rng.choice(alphabet)
+                probes.add(swapped)
+    if alphabet:
+        probes.add(rng.choice(alphabet) * 9)   # longer than any value
+    probes.add("ÿ")                       # outside most models
+    out = sorted(probes)
+    rng.shuffle(out)
+    return out[:limit]
+
+
+def interval_bounds(values: list[str], value_type: str,
+                    rng: random.Random, limit: int = 14
+                    ) -> list[str | None]:
+    """Interval-bound candidates for the ``interval_search`` check.
+
+    Present values (endpoints must hit records exactly), absent
+    neighbours, the empty string, and — for numeric containers — bound
+    text in the *other* numeric shape: fractional bounds over int
+    containers, integer-shaped text over float containers.
+    """
+    bounds: list[str | None] = [None]
+    pool = list(values)
+    rng.shuffle(pool)
+    bounds += pool[:4]
+    if value_type == "int":
+        anchors = [int(v) for v in pool[:3]] or [0]
+        bounds += [repr(anchor + 0.5) for anchor in anchors[:2]]
+        bounds += [str(max(anchors) + 10**7), str(min(anchors) - 10**7)]
+    elif value_type == "float":
+        anchors = [float(v) for v in pool[:3]] or [0.0]
+        bounds += [str(int(anchor) + 1) for anchor in anchors[:2]]
+        bounds += ["0", repr(max(anchors) + 1e8)]
+    else:
+        bounds += [""]
+        if pool:
+            base = pool[0]
+            bounds += [base + "", base[:-1] if base else "z"]
+        bounds += ["m"]
+    seen: set = set()
+    unique: list[str | None] = []
+    for bound in bounds:
+        if bound not in seen:
+            seen.add(bound)
+            unique.append(bound)
+    return unique[:limit]

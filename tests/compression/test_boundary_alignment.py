@@ -1,0 +1,111 @@
+"""Codeword-boundary regressions for compressed-domain predicates.
+
+The ``wild`` predicate compares *bit* prefixes: a prefix's encoding
+almost never ends on a byte boundary, and with variable-length codes
+the boundary falls mid-codeword relative to the probed value.  These
+tests pin the alignment cases for the prefix-code codecs and the
+order-preservation invariant ALM's ``ineq`` support rests on,
+cross-checked against plaintext ``str.startswith`` / ``sorted()``.
+"""
+
+import pytest
+
+from repro.compression.registry import train_codec
+
+CORPUS = ["ada", "adam", "adamant", "bo", "bob", "bobby", "", "café",
+          "cafés", "x"]
+
+
+def bit_length(codec, value):
+    return codec.encode(value).bits
+
+
+class TestHuffmanWildBoundaries:
+    @pytest.fixture
+    def codec(self):
+        return train_codec("huffman", CORPUS)
+
+    def test_prefix_encodings_end_mid_byte(self, codec):
+        # The regression is only meaningful if probes actually land
+        # off the byte grid; assert the fixture guarantees it.
+        assert any(bit_length(codec, v[:k]) % 8
+                   for v in CORPUS for k in range(1, len(v)))
+
+    def test_every_true_prefix_matches(self, codec):
+        for value in CORPUS:
+            compressed = codec.encode(value)
+            for k in range(len(value) + 1):
+                probe = codec.encode(value[:k])
+                assert compressed.starts_with(probe), (value, value[:k])
+
+    def test_near_miss_prefixes_rejected(self, codec):
+        # Same length, last character swapped: the code diverges in
+        # the final codeword, possibly mid-byte.
+        compressed = codec.encode("adam")
+        assert not compressed.starts_with(codec.encode("adab"))
+        assert not compressed.starts_with(codec.encode("bo"))
+
+    def test_longer_probe_than_value_rejected(self, codec):
+        assert not codec.encode("bo").starts_with(codec.encode("bob"))
+
+    def test_mid_codeword_boundary_not_a_match(self, codec):
+        # "adamant" vs probe "adamx": shares the first four codewords,
+        # then diverges inside the fifth — the shared-bit run ends
+        # mid-codeword and must not count as a prefix match.
+        compressed = codec.encode("adamant")
+        assert not compressed.starts_with(codec.encode("adamx"))
+
+    def test_empty_prefix_matches_everything(self, codec):
+        probe = codec.encode("")
+        assert probe.bits == 0
+        for value in CORPUS:
+            assert codec.encode(value).starts_with(probe)
+
+
+class TestHuTuckerWildBoundaries:
+    """Hu-Tucker shares the bit-prefix predicate; pin the same cases."""
+
+    @pytest.fixture
+    def codec(self):
+        return train_codec("hutucker", CORPUS)
+
+    def test_true_prefixes_match_and_near_misses_do_not(self, codec):
+        for value in ("adamant", "bobby", "cafés"):
+            compressed = codec.encode(value)
+            for k in range(len(value) + 1):
+                assert compressed.starts_with(codec.encode(value[:k]))
+            assert not compressed.starts_with(
+                codec.encode(value[:-1] + "x"))
+
+    def test_unaligned_probe_exists(self, codec):
+        assert any(bit_length(codec, v[:k]) % 8
+                   for v in CORPUS for k in range(1, len(v)))
+
+
+class TestALMOrderPreservation:
+    """ALM's ``ineq`` flag promises compressed order == value order —
+
+    including the adversarial cases: values that are prefixes of other
+    values (shared leading tokens) and the empty string.
+    """
+
+    def test_shared_prefix_values_sort_identically(self):
+        values = ["go", "gold", "golden", "g", "golf", "goldfish"]
+        codec = train_codec("alm", values)
+        assert sorted(values, key=codec.encode) == sorted(values)
+
+    def test_empty_string_sorts_first(self):
+        values = ["b", "", "a", "ab"]
+        codec = train_codec("alm", values)
+        assert sorted(values, key=codec.encode) == ["", "a", "ab", "b"]
+
+    def test_full_corpus_order(self):
+        codec = train_codec("alm", CORPUS)
+        assert sorted(CORPUS, key=codec.encode) == sorted(CORPUS)
+
+    def test_pairwise_comparisons_agree(self):
+        codec = train_codec("alm", CORPUS)
+        for a in CORPUS:
+            for b in CORPUS:
+                assert ((codec.encode(a) < codec.encode(b)) ==
+                        (a < b)), (a, b)

@@ -1,0 +1,109 @@
+"""Property-based suite: every registered codec vs its advertised
+
+:class:`~repro.compression.base.CompressionProperties`.
+
+For arbitrary (generated) training sets, each codec must round-trip
+exactly, and each predicate it advertises must agree with the
+plaintext semantics: ``eq`` with value equality, ``ineq`` with
+``sorted()`` over the source domain, ``wild`` with ``str.startswith``.
+The suite is derandomized so CI failures reproduce locally.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.registry import available_codecs, train_codec
+
+_SETTINGS = settings(derandomize=True, max_examples=30, deadline=None)
+
+_TEXT = st.text(
+    alphabet="ab01 .-éß日ÿ", max_size=10)
+
+
+def _values_strategy(codec_name):
+    if codec_name == "integer":
+        return st.lists(
+            st.integers(min_value=-2**63, max_value=2**63).map(str),
+            min_size=1, max_size=12)
+    if codec_name == "float":
+        return st.lists(
+            st.floats(allow_nan=False, allow_infinity=False,
+                      allow_subnormal=False)
+            .map(lambda f: repr(f + 0.0 if f else 0.0)),
+            min_size=1, max_size=12)
+    return st.lists(_TEXT, min_size=1, max_size=12)
+
+
+def _domain_key(codec_name):
+    if codec_name == "integer":
+        return int
+    if codec_name == "float":
+        return float
+    return lambda text: text
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+class TestAdvertisedProperties:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_roundtrip_and_determinism(self, codec_name, data):
+        values = data.draw(_values_strategy(codec_name))
+        codec = train_codec(codec_name, values)
+        for value in values:
+            compressed = codec.encode(value)
+            assert codec.decode(compressed) == value
+            assert codec.encode(value) == compressed
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_eq_agrees_with_value_equality(self, codec_name, data):
+        values = data.draw(_values_strategy(codec_name))
+        codec = train_codec(codec_name, values)
+        if not codec.properties.eq:
+            pytest.skip(f"{codec_name} does not advertise eq")
+        encoded = [(v, codec.encode(v)) for v in values]
+        for value_a, bits_a in encoded:
+            for value_b, bits_b in encoded:
+                assert (bits_a == bits_b) == (value_a == value_b), (
+                    value_a, value_b)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_ineq_agrees_with_sorted(self, codec_name, data):
+        values = data.draw(_values_strategy(codec_name))
+        codec = train_codec(codec_name, values)
+        if not codec.properties.ineq:
+            pytest.skip(f"{codec_name} does not advertise ineq")
+        key = _domain_key(codec_name)
+        by_code = sorted(values, key=codec.encode)
+        assert [key(v) for v in by_code] == \
+            sorted(key(v) for v in values)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_wild_agrees_with_startswith(self, codec_name, data):
+        values = data.draw(_values_strategy(codec_name))
+        codec = train_codec(codec_name, values)
+        if not codec.properties.wild:
+            pytest.skip(f"{codec_name} does not advertise wild")
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(values) - 1))
+        cut = data.draw(st.integers(min_value=0, max_value=10))
+        probe = values[index][:cut]
+        encoded_probe = codec.try_encode(probe)
+        assert encoded_probe is not None   # built from trained chars
+        for value in values:
+            assert codec.encode(value).starts_with(encoded_probe) == \
+                value.startswith(probe), (value, probe)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_try_encode_out_of_model(self, codec_name, data):
+        values = data.draw(_values_strategy(codec_name))
+        codec = train_codec(codec_name, values)
+        probe = "☃lpha"   # snowman never appears in any strategy
+        compressed = codec.try_encode(probe)
+        if compressed is not None:
+            # Codecs with an open domain must still round-trip it.
+            assert codec.decode(compressed) == probe

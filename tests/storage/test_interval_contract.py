@@ -1,0 +1,135 @@
+"""Regression tests for the ``interval_search`` bound contract.
+
+Pinned by the verify oracle's codec layer: an ``int`` container probed
+with a fractional bound like ``"9.5"`` used to crash with
+``ValueError: invalid literal for int()`` inside the bisect key (the
+engine generates such bounds from range predicates whose constant is a
+float literal).  The documented contract is typed comparison: numeric
+containers accept any numeric bound text, string containers compare
+lexicographically, and a non-numeric bound over a numeric container is
+a :class:`~repro.errors.StorageError`.
+"""
+
+import pytest
+
+from repro.compression.registry import train_codec
+from repro.errors import StorageError
+from repro.storage.containers import ValueContainer
+
+INTS = ["5", "7", "9", "31"]
+FLOATS = ["0.5", "7.25", "9.0", "100.125"]
+
+
+def make_container(values, codec_name, value_type):
+    container = ValueContainer("/doc/v/#text", value_type)
+    for i, value in enumerate(values):
+        container.add_value(value, parent_id=100 + i)
+    container.seal(train_codec(codec_name, values))
+    return container
+
+
+def decoded(container, low, high, low_inc=True, high_inc=True):
+    codec = container.codec
+    return sorted(codec.decode(c) for _, c in
+                  container.interval_search(low, high, low_inc,
+                                            high_inc))
+
+
+class TestFractionalBoundOverIntContainer:
+    """The original crash: ``int("6.5")`` raised mid-bisect."""
+
+    @pytest.fixture
+    def container(self):
+        return make_container(INTS, "integer", "int")
+
+    def test_fractional_low_bound(self, container):
+        assert decoded(container, "6.5", None) == \
+            sorted(["7", "9", "31"])
+
+    def test_fractional_high_bound(self, container):
+        assert decoded(container, None, "8.5") == sorted(["5", "7"])
+
+    @pytest.mark.parametrize("low_inc,high_inc", [
+        (True, True), (True, False), (False, True), (False, False)])
+    def test_fractional_bounds_all_inclusivities(self, container,
+                                                 low_inc, high_inc):
+        # No value equals a fractional bound, so inclusivity must not
+        # change the answer — 7 and 9 lie strictly inside (6.5, 9.5).
+        assert decoded(container, "6.5", "9.5", low_inc, high_inc) == \
+            sorted(["7", "9"])
+
+    @pytest.mark.parametrize("low_inc,expected", [
+        (True, ["31", "7", "9"]), (False, ["31", "9"])])
+    def test_exact_endpoint_inclusivity(self, container, low_inc,
+                                        expected):
+        assert decoded(container, "7", None, low_inc) == expected
+
+    def test_non_numeric_bound_raises_storage_error(self, container):
+        with pytest.raises(StorageError, match="is not numeric"):
+            list(container.interval_search("abc", None))
+
+
+class TestIntShapedBoundOverFloatContainer:
+    def test_integer_text_bound(self):
+        container = make_container(FLOATS, "float", "float")
+        assert decoded(container, "7", None) == \
+            sorted(["7.25", "9.0", "100.125"])
+
+    def test_scientific_notation_bound(self):
+        container = make_container(FLOATS, "float", "float")
+        assert decoded(container, None, "1e1") == \
+            sorted(["0.5", "7.25", "9.0"])
+
+
+class TestStringBounds:
+    @pytest.fixture
+    def container(self):
+        return make_container(["", "a", "ab", "b"], "alm", "string")
+
+    def test_empty_string_is_an_ordinary_low_bound(self, container):
+        assert decoded(container, "", None) == ["", "a", "ab", "b"]
+
+    def test_empty_string_exclusive_low_drops_empty_value(self,
+                                                          container):
+        assert decoded(container, "", None, low_inc=False) == \
+            ["a", "ab", "b"]
+
+    def test_empty_string_high_bound(self, container):
+        assert decoded(container, None, "") == [""]
+        assert decoded(container, None, "", high_inc=False) == []
+
+    def test_none_is_unbounded(self, container):
+        assert decoded(container, None, None) == ["", "a", "ab", "b"]
+
+    def test_numeric_strings_compare_lexicographically(self):
+        container = make_container(["10", "9", "100"], "alm", "string")
+        # String container: "10" < "100" < "9".
+        assert decoded(container, None, "2") == sorted(["10", "100"])
+
+
+class TestBlobPath:
+    """The XMill-style chunk path shares the typed-bound contract."""
+
+    def test_fractional_bound_over_int_blob(self):
+        container = make_container(INTS, "zlib", "int")
+        assert decoded(container, "6.5", "9.5") == sorted(["7", "9"])
+
+    def test_non_numeric_bound_raises(self):
+        container = make_container(INTS, "zlib", "int")
+        with pytest.raises(StorageError, match="is not numeric"):
+            list(container.interval_search(None, "x"))
+
+
+class TestDecompressingPath:
+    """Order-agnostic codec over numeric values: bisect decodes pivots."""
+
+    def test_fractional_bound_with_huffman_over_ints(self):
+        container = make_container(INTS, "huffman", "int")
+        assert decoded(container, "6.5", None) == \
+            sorted(["7", "9", "31"])
+
+    def test_duplicates_preserved(self):
+        container = make_container(["7", "7", "9"], "integer", "int")
+        got = [container.codec.decode(c) for _, c in
+               container.interval_search("7", "7")]
+        assert got == ["7", "7"]

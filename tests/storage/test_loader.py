@@ -28,7 +28,13 @@ class TestTypeInference:
         assert infer_value_type(["1", "22", "-3"]) == "int"
 
     def test_floats(self):
-        assert infer_value_type(["1.5", "2", "-0.25"]) == "float"
+        assert infer_value_type(["1.5", "2.0", "-0.25"]) == "float"
+
+    def test_mixed_int_float_stays_string(self):
+        # "2" is not a canonical float ("2.0" is): a float codec would
+        # decode it as "2.0", which is lossy.  Mixed containers used to
+        # infer "float" and then crash at seal time.
+        assert infer_value_type(["1.5", "2", "-0.25"]) == "string"
 
     def test_strings(self):
         assert infer_value_type(["1", "two"]) == "string"

@@ -378,3 +378,47 @@ class TestAnalyzeExitCode:
         assert code == 1
         assert "plan verification failed" in output
         assert "plan.ineq-order-agnostic" in output
+
+
+class TestVerify:
+    ARGS = ("verify", "--seed", "0", "--docs", "1", "--queries", "4",
+            "--rounds", "1", "--values", "12")
+
+    def test_clean_run_exits_zero(self):
+        code, output = run(*self.ARGS)
+        assert code == 0
+        assert "mismatches=0" in output
+        assert "match the plaintext reference" in output
+
+    def test_json_report(self):
+        import json
+        code, output = run(*self.ARGS, "--json")
+        assert code == 0
+        doc = json.loads(output)
+        assert doc["ok"] is True and doc["seed"] == 0
+
+    def test_mismatch_exits_one_and_writes_corpus(self, tmp_path,
+                                                  monkeypatch):
+        from repro.verify.report import Mismatch
+        from repro.verify import runner
+
+        def rigged(seed, **kwargs):
+            from repro.verify.report import VerifyReport
+            report = VerifyReport(seed=seed)
+            report.add(Mismatch(
+                layer="codec", check="ineq", codec="alm",
+                description="injected for the CLI gate test",
+                reproducer={"values": ["b", "a"]}))
+            return report
+
+        monkeypatch.setattr(runner, "run_codec_oracle",
+                            lambda seed, **kw: rigged(seed))
+        monkeypatch.setattr(runner, "run_engine_oracle",
+                            lambda seed, **kw: rigged(seed))
+        corpus = tmp_path / "corpus"
+        code, output = run(*self.ARGS, "--corpus-dir", str(corpus))
+        assert code == 1
+        assert "injected for the CLI gate test" in output
+        assert (corpus / "summary.json").exists()
+        assert any(p.name.startswith("counterexample-")
+                   for p in corpus.iterdir())

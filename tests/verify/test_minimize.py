@@ -1,0 +1,53 @@
+"""Tests for the delta-debugging minimizer."""
+
+from repro.verify.minimize import ddmin
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        items = list(range(40))
+        assert ddmin(items, lambda s: 17 in s) == [17]
+
+    def test_pair_of_culprits(self):
+        items = list(range(40))
+        result = ddmin(items, lambda s: 3 in s and 29 in s)
+        assert sorted(result) == [3, 29]
+
+    def test_already_minimal(self):
+        assert ddmin(["x"], lambda s: "x" in s) == ["x"]
+
+    def test_non_failing_input_returned_unchanged(self):
+        items = [1, 2, 3]
+        assert ddmin(items, lambda s: False) == items
+
+    def test_order_preserved(self):
+        items = ["d", "a", "c", "b"]
+        result = ddmin(items, lambda s: "a" in s and "b" in s)
+        assert result == ["a", "b"]
+
+    def test_raising_predicate_counts_as_not_failing(self):
+        def failing(subset):
+            if len(subset) < 2:
+                raise ValueError("cannot even evaluate this")
+            return 5 in subset
+
+        result = ddmin(list(range(10)), failing)
+        assert 5 in result and len(result) == 2
+
+    def test_budget_exhaustion_still_returns_failing_subset(self):
+        items = list(range(64))
+
+        def failing(subset):
+            return 0 in subset and 63 in subset
+
+        result = ddmin(items, failing, max_attempts=10)
+        assert failing(result)
+        assert len(result) <= len(items)
+
+    def test_deterministic(self):
+        items = list(range(30))
+
+        def failing(subset):
+            return sum(subset) >= 100
+
+        assert ddmin(items, failing) == ddmin(items, failing)
