@@ -1,5 +1,27 @@
-"""Benchmark support: experiment registry and table formatting."""
+"""Benchmark support: experiment registry, table formatting, the
+persistent trajectory, and the noise-aware regression gate."""
 
+from repro.bench.compare import (
+    BASELINE_PATH,
+    CompareEntry,
+    CompareReport,
+    compare_points,
+)
 from repro.bench.reporting import format_table, record_result
+from repro.bench.trajectory import (
+    TRAJECTORY_PATH,
+    load_trajectory,
+    record_point,
+)
 
-__all__ = ["format_table", "record_result"]
+__all__ = [
+    "BASELINE_PATH",
+    "CompareEntry",
+    "CompareReport",
+    "compare_points",
+    "format_table",
+    "load_trajectory",
+    "record_point",
+    "record_result",
+    "TRAJECTORY_PATH",
+]

@@ -1,0 +1,294 @@
+"""Noise-aware benchmark regression gate (``repro bench compare``).
+
+Comparing two single timings tells you about the machine's mood, not
+the code (the XML-compression benchmarking literature — Sakr's
+experimental survey, Leighton & Barbosa — is one long warning about
+exactly this).  The gate therefore compares **medians of repeated
+samples** per ``(experiment, query)`` between a committed baseline
+(``benchmarks/results/BENCH_baseline.json``) and a fresh trajectory
+run, and refuses to judge keys with too few samples:
+
+* a key is a **regression** when ``current_median > baseline_median *
+  (1 + threshold)`` — the relative threshold absorbs machine-to-
+  machine constant factors;
+* a key with fewer than ``min_samples`` points *on either side* is
+  reported as ``insufficient`` and never fails the gate — one noisy
+  point must not block a merge, and one fast point must not mask a
+  real regression either;
+* keys present on only one side are reported (``new`` / ``missing``)
+  but informational — benchmarks come and go;
+* an *empty current trajectory* is itself a failure: it means the
+  smoke run recorded nothing, which is precisely the silent data loss
+  this gate exists to catch.
+
+Exit status: 0 when no regressions (and points exist), 1 otherwise —
+the CI ``perf-gate`` job runs it after the trajectory smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.trajectory import TRAJECTORY_PATH, load_trajectory
+
+#: the committed reference medians the gate compares against.
+BASELINE_PATH = TRAJECTORY_PATH.with_name("BENCH_baseline.json")
+
+#: default relative slowdown tolerated before a key fails the gate.
+DEFAULT_THRESHOLD = 0.5
+
+#: default minimum samples per (experiment, query) side to judge it.
+DEFAULT_MIN_SAMPLES = 3
+
+
+def median(values: list[float]) -> float:
+    """The sample median (mean of middle two for even counts)."""
+    if not values:
+        raise ValueError("median of an empty sample")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def group_points(points: list[dict],
+                 experiments: set[str] | None = None
+                 ) -> dict[tuple[str, str], list[float]]:
+    """Wall-time samples per ``(experiment, query)`` key."""
+    groups: dict[tuple[str, str], list[float]] = {}
+    for point in points:
+        experiment = str(point.get("experiment", ""))
+        if experiments is not None and experiment not in experiments:
+            continue
+        wall_s = point.get("wall_s")
+        if not isinstance(wall_s, (int, float)) or wall_s <= 0:
+            continue
+        key = (experiment, str(point.get("query", "")))
+        groups.setdefault(key, []).append(float(wall_s))
+    return groups
+
+
+@dataclass(frozen=True)
+class CompareEntry:
+    """The verdict for one ``(experiment, query)`` key."""
+
+    experiment: str
+    query: str
+    status: str  # ok | regression | improvement | insufficient
+    #              | new | missing
+    baseline_median_s: float | None = None
+    current_median_s: float | None = None
+    baseline_samples: int = 0
+    current_samples: int = 0
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline median (None when either is absent)."""
+        if not self.baseline_median_s or \
+                self.current_median_s is None:
+            return None
+        return self.current_median_s / self.baseline_median_s
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "query": self.query,
+            "status": self.status,
+            "baseline_median_s": self.baseline_median_s,
+            "current_median_s": self.current_median_s,
+            "baseline_samples": self.baseline_samples,
+            "current_samples": self.current_samples,
+            "ratio": self.ratio,
+        }
+
+
+@dataclass
+class CompareReport:
+    """All per-key verdicts plus the gate parameters that produced
+    them."""
+
+    threshold: float
+    min_samples: int
+    entries: list[CompareEntry] = field(default_factory=list)
+    #: problems independent of any key (e.g. empty current trajectory).
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CompareEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (no regressions, no errors)."""
+        return not self.regressions and not self.errors
+
+    def to_dict(self) -> dict:
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return {
+            "threshold": self.threshold,
+            "min_samples": self.min_samples,
+            "ok": self.ok,
+            "status_counts": dict(sorted(counts.items())),
+            "errors": list(self.errors),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def render_text(self) -> str:
+        out = []
+        headers = ("experiment", "query", "status", "base_med_s",
+                   "cur_med_s", "ratio", "n_base", "n_cur")
+        rows = []
+        for entry in self.entries:
+            rows.append((
+                entry.experiment, entry.query, entry.status,
+                "n/a" if entry.baseline_median_s is None
+                else f"{entry.baseline_median_s:.5f}",
+                "n/a" if entry.current_median_s is None
+                else f"{entry.current_median_s:.5f}",
+                "n/a" if entry.ratio is None
+                else f"{entry.ratio:.2f}x",
+                str(entry.baseline_samples),
+                str(entry.current_samples)))
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out.append("  ".join(h.ljust(w)
+                             for h, w in zip(headers, widths)))
+        for row in rows:
+            out.append("  ".join(c.ljust(w)
+                                 for c, w in zip(row, widths)))
+        for error in self.errors:
+            out.append(f"ERROR: {error}")
+        verdict = "PASS" if self.ok else \
+            f"FAIL ({len(self.regressions)} regression(s))"
+        out.append(f"gate: {verdict}  "
+                   f"(threshold +{100 * self.threshold:.0f}%, "
+                   f"min {self.min_samples} samples)")
+        return "\n".join(out)
+
+
+def compare_points(current: list[dict], baseline: list[dict], *,
+                   threshold: float = DEFAULT_THRESHOLD,
+                   min_samples: int = DEFAULT_MIN_SAMPLES,
+                   experiments: set[str] | None = None
+                   ) -> CompareReport:
+    """Judge a fresh trajectory against the committed baseline."""
+    report = CompareReport(threshold=threshold,
+                           min_samples=min_samples)
+    current_groups = group_points(current, experiments)
+    baseline_groups = group_points(baseline, experiments)
+    if not current_groups:
+        report.errors.append(
+            "current trajectory has no usable points — the smoke run "
+            "recorded nothing")
+    if not baseline_groups:
+        report.errors.append(
+            "baseline has no usable points — reseed it with "
+            "`python -m repro.bench.trajectory --repeat N "
+            "--trajectory benchmarks/results/BENCH_baseline.json`")
+    for key in sorted(set(current_groups) | set(baseline_groups)):
+        experiment, query = key
+        cur = current_groups.get(key)
+        base = baseline_groups.get(key)
+        if base is None:
+            report.entries.append(CompareEntry(
+                experiment, query, "new",
+                current_median_s=median(cur),
+                current_samples=len(cur)))
+            continue
+        if cur is None:
+            report.entries.append(CompareEntry(
+                experiment, query, "missing",
+                baseline_median_s=median(base),
+                baseline_samples=len(base)))
+            continue
+        entry_kwargs = dict(
+            baseline_median_s=median(base),
+            current_median_s=median(cur),
+            baseline_samples=len(base), current_samples=len(cur))
+        if len(cur) < min_samples or len(base) < min_samples:
+            status = "insufficient"
+        else:
+            ratio = entry_kwargs["current_median_s"] \
+                / entry_kwargs["baseline_median_s"]
+            if ratio > 1.0 + threshold:
+                status = "regression"
+            elif ratio < 1.0 / (1.0 + threshold):
+                status = "improvement"
+            else:
+                status = "ok"
+        report.entries.append(
+            CompareEntry(experiment, query, status, **entry_kwargs))
+    return report
+
+
+def add_compare_arguments(parser: argparse.ArgumentParser) -> None:
+    """The gate's options, shared by ``repro bench compare`` and the
+    standalone ``python -m repro.bench.compare``."""
+    parser.add_argument("--baseline", type=Path,
+                        default=BASELINE_PATH,
+                        help="committed baseline trajectory "
+                             "(default benchmarks/results/"
+                             "BENCH_baseline.json)")
+    parser.add_argument("--trajectory", type=Path,
+                        default=TRAJECTORY_PATH,
+                        help="fresh trajectory to judge (default "
+                             "benchmarks/results/"
+                             "BENCH_trajectory.json)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative slowdown tolerated before a "
+                             "key regresses (default %(default)s)")
+    parser.add_argument("--min-samples", type=int,
+                        default=DEFAULT_MIN_SAMPLES,
+                        help="samples required per side to judge a "
+                             "key (default %(default)s)")
+    parser.add_argument("--experiment", action="append", default=None,
+                        help="only judge these experiment labels "
+                             "(repeatable; default: all)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON report here")
+
+
+def run_compare(args, out=sys.stdout) -> int:
+    """Load both trajectories, judge, render; 0 iff the gate passes."""
+    current = load_trajectory(args.trajectory)
+    baseline = load_trajectory(args.baseline)
+    report = compare_points(
+        current, baseline, threshold=args.threshold,
+        min_samples=args.min_samples,
+        experiments=set(args.experiment) if args.experiment else None)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(report.render_text(), file=out)
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    """The ``python -m repro.bench.compare`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare",
+        description="noise-aware perf-regression gate over the "
+                    "benchmark trajectory")
+    add_compare_arguments(parser)
+    return run_compare(parser.parse_args(argv), out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

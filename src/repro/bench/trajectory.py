@@ -19,47 +19,80 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.bench.reporting import RESULTS_DIR
+from repro.obs import runtime
 from repro.util.atomic import atomic_write_text
+from repro.util.clock import Stopwatch, s_to_ns
 
 #: the persistent trajectory file benchmarks append to.
 TRAJECTORY_PATH = RESULTS_DIR / "BENCH_trajectory.json"
 
 
+def _corrupt(path: Path, why: str) -> None:
+    """Surface trajectory data loss instead of hiding it.
+
+    A corrupt file still loads as ``[]`` (benchmarks must not die on a
+    damaged history), but loudly: a stderr warning plus a
+    ``bench.trajectory.corrupt`` metric on the active registry.
+    """
+    print(f"warning: trajectory file {path} is corrupt ({why}); "
+          "treating as empty — its points are LOST for this run",
+          file=sys.stderr)
+    runtime.add("bench.trajectory.corrupt")
+
+
 def load_trajectory(path: str | Path | None = None) -> list[dict]:
-    """All recorded points, oldest first ([] when absent/corrupt)."""
+    """All recorded points, oldest first ([] when absent/corrupt).
+
+    A corrupt or malformed file is *not* silent: it warns on stderr
+    and bumps ``bench.trajectory.corrupt`` (see :func:`_corrupt`).
+    """
     path = TRAJECTORY_PATH if path is None else Path(path)
     if not path.exists():
         return []
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError:
+    except json.JSONDecodeError as exc:
+        _corrupt(path, f"invalid JSON: {exc}")
         return []
     points = document.get("points") if isinstance(document, dict) \
         else None
     if not isinstance(points, list):
+        _corrupt(path, "no top-level {'points': [...]} list")
         return []
     return [point for point in points if isinstance(point, dict)]
 
 
-def record_point(query: str, wall_s: float,
+def record_point(query: str, wall_s: float | None = None,
                  compressed_ratio: float | None = None,
                  decompressions: int = 0, experiment: str = "",
                  items: int = 0,
                  path: str | Path | None = None,
-                 ts: str | None = None) -> dict:
-    """Append one per-query measurement; returns the stored point."""
+                 ts: str | None = None,
+                 wall_ns: int | None = None) -> dict:
+    """Append one per-query measurement; returns the stored point.
+
+    Time can be given as ``wall_ns`` (preferred — integer nanoseconds
+    on the monotonic clock, directly comparable to span timings) or as
+    legacy ``wall_s`` float seconds; the point stores both.
+    """
     path = TRAJECTORY_PATH if path is None else Path(path)
+    if wall_ns is None:
+        if wall_s is None:
+            raise TypeError("record_point needs wall_ns or wall_s")
+        wall_ns = s_to_ns(wall_s)
+    elif wall_s is None:
+        wall_s = wall_ns / 1e9
     point = {
         "ts": ts if ts is not None
         else datetime.now(timezone.utc).isoformat(),
         "experiment": experiment,
         "query": query,
         "wall_s": wall_s,
+        "wall_ns": wall_ns,
         "compressed_ratio": compressed_ratio,
         "decompressions": decompressions,
         "items": items,
@@ -86,7 +119,7 @@ def point_from_workload_record(record, query: str,
         record = WorkloadRecord.from_dict(record)
     return record_point(
         query=query,
-        wall_s=record.wall_ns / 1e9,
+        wall_ns=record.wall_ns,
         compressed_ratio=record.compressed_ratio,
         decompressions=record.counters.get("decompressions", 0),
         experiment=experiment,
@@ -111,6 +144,11 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--queries", default="Q1,Q5,Q8",
                         help="comma-separated XMark query ids")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="runs (= trajectory points) per query; "
+                             "the regression gate needs several "
+                             "samples per key to judge medians "
+                             "(default 1)")
     parser.add_argument("--journal", type=Path, default=None,
                         help="workload journal path (default: "
                              "alongside the trajectory file)")
@@ -133,28 +171,30 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     repository = load_document(xml_text)
     journal = WorkloadJournal(journal_path)
     session = Session(repository, journal=journal)
-    for query_id in [q.strip() for q in args.queries.split(",")
-                     if q.strip()]:
-        start = time.perf_counter()
-        result = session.execute(query_text(query_id))
-        items = len(result.items)
-        wall_s = time.perf_counter() - start
-        from repro.obs.workload import WorkloadRecord
-        [line] = journal.records()[-1:]
-        record = WorkloadRecord.from_dict(line)
-        # Journalled wall time excludes result materialization; the
-        # smoke point records the end-to-end time instead.
-        record_point(
-            query=query_id, wall_s=wall_s,
-            compressed_ratio=record.compressed_ratio,
-            decompressions=record.counters.get("decompressions", 0),
-            experiment="trajectory_smoke", items=items,
-            path=args.trajectory)
-        ratio = record.compressed_ratio
-        print(f"{query_id}: {items} items, {wall_s:.3f} s, "
-              f"compressed_ratio="
-              f"{'n/a' if ratio is None else f'{ratio:.2f}'}",
-              file=out)
+    query_ids = [q.strip() for q in args.queries.split(",")
+                 if q.strip()]
+    for run in range(max(args.repeat, 1)):
+        for query_id in query_ids:
+            with Stopwatch() as watch:
+                result = session.execute(query_text(query_id))
+                items = len(result.items)
+            from repro.obs.workload import WorkloadRecord
+            [line] = journal.records()[-1:]
+            record = WorkloadRecord.from_dict(line)
+            # Journalled wall time excludes result materialization;
+            # the smoke point records the end-to-end time instead.
+            record_point(
+                query=query_id, wall_ns=watch.ns,
+                compressed_ratio=record.compressed_ratio,
+                decompressions=record.counters.get(
+                    "decompressions", 0),
+                experiment="trajectory_smoke", items=items,
+                path=args.trajectory)
+            ratio = record.compressed_ratio
+            print(f"{query_id}: {items} items, "
+                  f"{watch.seconds:.3f} s, compressed_ratio="
+                  f"{'n/a' if ratio is None else f'{ratio:.2f}'}",
+                  file=out)
     print(f"journal: {journal_path} ({len(journal)} records)",
           file=out)
     print(f"trajectory: {args.trajectory} "

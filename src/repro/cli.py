@@ -6,6 +6,12 @@ Commands mirror how the paper's system is used:
   optionally workload-driven (one query per line in a file);
 * ``query``      — evaluate an XQuery over a repository;
 * ``trace``      — run a query and emit its telemetry JSON;
+* ``profile``    — run a query under the span-attributed sampling
+  profiler: per-span CPU shares + folded-stack flamegraph export;
+* ``perf``       — serving SLO report (per-query-class latency
+  quantiles, cache hit rates) over a batch of queries;
+* ``bench``      — benchmark trajectory tools; ``bench compare`` is
+  the noise-aware perf-regression gate CI runs;
 * ``stats``      — storage occupancy breakdown of a repository;
 * ``decompress`` — reconstruct the XML document from a repository;
 * ``workload``   — observatory reports over a recorded query journal
@@ -62,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--analyze", action="store_true",
                        help="run with telemetry and print the plan "
                             "annotated with actual counts and timings")
+    query.add_argument("--profile", action="store_true",
+                       help="with --analyze: attach the sampling "
+                            "profiler and add the hot-spans section")
     query.add_argument("--record", action="store_true",
                        help="journal this run's workload observation "
                             "for the observatory")
@@ -90,6 +99,66 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--top-k", type=int, default=None,
                         help="limit hottest-container and "
                              "recommendation listings")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run a query under the span-attributed sampling "
+             "profiler")
+    profile.add_argument("repository", type=Path)
+    profile.add_argument("xquery", help="the query text")
+    profile.add_argument("--hz", type=float, default=None,
+                         help="sampling rate (default 97 Hz)")
+    profile.add_argument("--repeat", type=int, default=1,
+                         help="run the query this many times under "
+                              "one profile (more samples for fast "
+                              "queries; default 1)")
+    profile.add_argument("--flamegraph", type=Path, default=None,
+                         help="write folded stacks here (input for "
+                              "flamegraph.pl / speedscope / inferno)")
+    profile.add_argument("--tracemalloc", action="store_true",
+                         help="also record per-span allocation "
+                              "deltas (slower)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hot-span rows to print (default 10)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the full profile as JSON")
+
+    perf = commands.add_parser(
+        "perf", help="serving performance reports (SLOs)")
+    perf_commands = perf.add_subparsers(dest="perf_command",
+                                        required=True)
+    perf_report = perf_commands.add_parser(
+        "report",
+        help="run a query batch through a session and report "
+             "per-query-class latency quantiles + cache hit rates")
+    perf_report.add_argument("repository", type=Path)
+    perf_report.add_argument("--query", action="append", default=None,
+                             help="a query to serve (repeatable)")
+    perf_report.add_argument("--queries-file", type=Path, default=None,
+                             help="file with one query per line")
+    perf_report.add_argument("--repeat", type=int, default=3,
+                             help="how many times to serve the batch "
+                                  "(default 3)")
+    perf_report.add_argument("--workers", type=int, default=4,
+                             help="execute_many thread-pool width "
+                                  "(default 4)")
+    perf_report.add_argument("--slo", action="append", default=None,
+                             help="latency objective CLASS:pNN:MILLIS "
+                                  "(e.g. point:p95:5; repeatable; "
+                                  "exit 1 on violation)")
+    perf_report.add_argument("--json", action="store_true",
+                             help="emit the report as JSON")
+
+    bench = commands.add_parser(
+        "bench", help="benchmark trajectory tools")
+    bench_commands = bench.add_subparsers(dest="bench_command",
+                                          required=True)
+    bench_compare = bench_commands.add_parser(
+        "compare",
+        help="noise-aware regression gate: fresh trajectory medians "
+             "vs the committed baseline")
+    from repro.bench.compare import add_compare_arguments
+    add_compare_arguments(bench_compare)
 
     trace = commands.add_parser(
         "trace", help="run a query and emit its telemetry JSON")
@@ -169,6 +238,9 @@ def main(argv: list[str] | None = None,
     commands = {
         "compress": _cmd_compress,
         "query": _cmd_query,
+        "profile": _cmd_profile,
+        "perf": _cmd_perf,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "decompress": _cmd_decompress,
@@ -215,8 +287,10 @@ def _cmd_query(args, out) -> int:
     session = Session(repository, recorder=_recorder_for(args))
     if args.analyze:
         from repro.errors import PlanVerificationError
+        options = ExecutionOptions(profile=True) if args.profile \
+            else None
         try:
-            report = session.analyze(args.xquery)
+            report = session.analyze(args.xquery, options)
         except PlanVerificationError as exc:
             # Surface what the verifier found instead of masking the
             # failure behind a bare error line — and exit non-zero.
@@ -260,6 +334,88 @@ def _recorder_for(args):
     journal = args.journal if args.journal is not None \
         else default_journal_path(args.repository)
     return WorkloadRecorder(WorkloadJournal(journal))
+
+
+def _cmd_profile(args, out) -> int:
+    import json
+
+    from repro.obs.profiler import (
+        DEFAULT_HZ,
+        ProfileOptions,
+        SpanProfiler,
+    )
+
+    repository = load_repository(args.repository)
+    session = Session(repository)
+    profile_options = ProfileOptions(
+        hz=args.hz if args.hz is not None else DEFAULT_HZ,
+        trace_allocations=args.tracemalloc)
+    # One shared telemetry + one profiler attach across every repeat:
+    # short queries only collect enough samples when the sampler does
+    # not restart per run, and materialization (the final Decompress)
+    # happens inside the profiled window.
+    telemetry = Telemetry(enabled=True)
+    profiler = SpanProfiler(profile_options)
+    options = ExecutionOptions(telemetry=telemetry)
+    with runtime.activated(telemetry):
+        with profiler.attach(telemetry.tracer):
+            for _ in range(max(args.repeat, 1)):
+                result = session.execute(args.xquery, options)
+                result.items
+    profile = profiler.profile
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=2,
+                         sort_keys=True), file=out)
+    else:
+        print(profile.render_text(top=args.top), file=out)
+    if args.flamegraph is not None:
+        profile.write_folded(args.flamegraph)
+        print(f"wrote {len(profile.folded)} folded stacks to "
+              f"{args.flamegraph}", file=out)
+    return 0
+
+
+def _cmd_perf(args, out) -> int:
+    import json
+
+    from repro.service.slo import LatencyObjective, render_slo_report
+
+    queries = list(args.query or [])
+    if args.queries_file is not None:
+        queries.extend(
+            line.strip() for line in
+            args.queries_file.read_text(encoding="utf-8").splitlines()
+            if line.strip())
+    if not queries:
+        print("error: perf report needs --query or --queries-file",
+              file=out)
+        return 1
+    try:
+        objectives = [LatencyObjective.parse(spec)
+                      for spec in args.slo or []]
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    repository = load_repository(args.repository)
+    session = Session(repository)
+    for _ in range(max(args.repeat, 1)):
+        for result in session.execute_many(queries,
+                                           max_workers=args.workers):
+            len(result.items)
+    report = session.slo_report(objectives)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(render_slo_report(report), file=out)
+    return 1 if any(not check["ok"]
+                    for check in report["objectives"]) else 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.bench.compare import run_compare
+    if args.bench_command == "compare":
+        return run_compare(args, out=out)
+    raise AssertionError(args.bench_command)  # pragma: no cover
 
 
 def _cmd_workload(args, out) -> int:

@@ -15,6 +15,10 @@ compressed domain, decompression is deferred to serialization — is
 * :class:`~repro.obs.telemetry.Telemetry` — one tracer + one registry
   per query run, JSON-exportable (``to_json``) for benchmark reports
   and the ``repro trace`` CLI;
+* :class:`~repro.obs.profiler.SpanProfiler` — a background sampling
+  profiler that attributes ``sys._current_frames()`` samples to the
+  span stack each thread has open, yielding per-span self/total CPU
+  shares and folded-stack flamegraph exports;
 * :mod:`~repro.obs.runtime` — the module-level activation point the
   storage and compression layers check (one global load + ``is None``
   test when telemetry is off) to report codec encode/decode calls,
@@ -24,6 +28,11 @@ compressed domain, decompression is deferred to serialization — is
 
 from repro.obs.journal import WorkloadJournal, default_journal_path
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.profiler import (
+    ProfileOptions,
+    SpanProfile,
+    SpanProfiler,
+)
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import Span, Tracer
 from repro.obs.workload import (
@@ -36,7 +45,10 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "ProfileOptions",
     "Span",
+    "SpanProfile",
+    "SpanProfiler",
     "Telemetry",
     "Tracer",
     "WorkloadCapture",

@@ -31,9 +31,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from time import perf_counter_ns
 
 from repro.obs.journal import WorkloadJournal
+from repro.util.clock import elapsed_ns, now_ns
 from repro.partitioning.workload import PREDICATE_KINDS
 
 #: per-container access operations the deep layers report.
@@ -163,10 +163,10 @@ class WorkloadRecorder:
         before = {name: metrics.counter(name).value
                   for name in _RECORD_COUNTERS}
         capture = WorkloadCapture()
-        start = perf_counter_ns()
+        start = now_ns()
         with runtime.recording(capture):
             yield capture
-        wall_ns = perf_counter_ns() - start
+        wall_ns = elapsed_ns(start)
         deltas = {name: metrics.counter(name).value - before[name]
                   for name in _RECORD_COUNTERS}
         record = WorkloadRecord(

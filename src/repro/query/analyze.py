@@ -50,22 +50,29 @@ _LINE_METRICS = (
 )
 
 
-def explain_analyze(query: str | Expression, target) -> AnalyzeReport:
+def explain_analyze(query: str | Expression, target,
+                    options=None) -> AnalyzeReport:
     """Run ``query`` against ``target`` and render plan + actuals.
 
     ``target`` is a :class:`~repro.query.engine.QueryEngine` or a bare
     :class:`~repro.storage.repository.CompressedRepository`.  The query
     runs to full materialization, so the report includes the final
-    Decompress step the paper defers to serialization.
+    Decompress step the paper defers to serialization.  ``options``
+    (an :class:`~repro.query.options.ExecutionOptions`) carries extra
+    run knobs — ``profile=`` adds the sampling profiler's "hot spans"
+    section to the report.
     """
+    from dataclasses import replace
+
     from repro.query.engine import QueryEngine
     from repro.query.options import ExecutionOptions
     engine = target if isinstance(target, QueryEngine) \
         else QueryEngine(target)
     telemetry = Telemetry(enabled=True)
+    options = options if options is not None else ExecutionOptions()
+    options = replace(options, telemetry=telemetry)
     with runtime.activated(telemetry):
-        result = engine.execute(query,
-                                ExecutionOptions(telemetry=telemetry))
+        result = engine.execute(query, options)
         items = result.items  # force the Decompress step under telemetry
     sketch = explain(query)
     text = _render(sketch, result, telemetry, len(items), engine)
@@ -88,6 +95,9 @@ def _render(sketch: str, result, telemetry: Telemetry,
     lines.extend(_counter_section(result.stats))
     lines.append("")
     lines.extend(_compression_section(result.stats, metrics))
+    if telemetry.profile is not None:
+        lines.append("")
+        lines.extend(_hot_spans_section(telemetry))
     if telemetry.diagnostics:
         lines.append("")
         lines.extend(_diagnostics_section(telemetry))
@@ -128,6 +138,18 @@ def _workload_drift_section(engine) -> list[str]:
                        f"(est. saving {rec.saving_total:.1f})")
     else:
         out.append("no recompression recommended")
+    return out
+
+
+def _hot_spans_section(telemetry: Telemetry) -> list[str]:
+    """Where the CPU went inside the spans (sampling profiler).
+
+    Span histograms say how long an operator ran; the profile says
+    which spans the interpreter was actually *executing in* when
+    sampled — self shares sum to at most 100 %.
+    """
+    out = ["-- hot spans (sampling profiler) --"]
+    out.extend(telemetry.profile.render_text(top=8).splitlines())
     return out
 
 

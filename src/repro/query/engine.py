@@ -232,7 +232,10 @@ class QueryEngine:
         """
         options = coerce_options(options, legacy, "QueryEngine.execute")
         ast = parse_query(query) if isinstance(query, str) else query
-        telemetry = options.resolve_telemetry(self.telemetry_enabled)
+        # Profiling needs open spans to attribute samples to, so a
+        # profile request implies an enabled telemetry for the run.
+        telemetry = options.resolve_telemetry(
+            self.telemetry_enabled or bool(options.profile))
         if self.verify_plans:
             if diagnostics is None:
                 diagnostics = self.verify(ast)
@@ -252,9 +255,15 @@ class QueryEngine:
         def run() -> list:
             if not telemetry.enabled:
                 return evaluator.eval(ast, base_env)
+            from repro.obs.profiler import profiled
             with runtime.activated(telemetry):
-                with telemetry.span("Execute", query=query_text):
-                    return evaluator.eval(ast, base_env)
+                with profiled(telemetry.tracer,
+                              options.profile) as profiler:
+                    with telemetry.span("Execute", query=query_text):
+                        items = evaluator.eval(ast, base_env)
+                if profiler is not None:
+                    telemetry.profile = profiler.profile
+                return items
 
         record = options.record
         if record is None:

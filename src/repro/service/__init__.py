@@ -20,18 +20,28 @@ from repro.service.session import (
     PreparedQuery,
     Session,
 )
+from repro.service.slo import (
+    LatencyObjective,
+    classify_query,
+    render_slo_report,
+    slo_report,
+)
 
 __all__ = [
     "BlockCache",
     "CachedContainerView",
     "CachedRepositoryView",
+    "classify_query",
     "Database",
     "DEFAULT_BLOCK_BUDGET",
     "DEFAULT_PLAN_CAPACITY",
     "ExecutionOptions",
+    "LatencyObjective",
     "normalize_query_text",
     "PlanCache",
     "PreparedPlan",
     "PreparedQuery",
+    "render_slo_report",
     "Session",
+    "slo_report",
 ]

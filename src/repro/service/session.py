@@ -47,7 +47,13 @@ from repro.service.cache import (
     PlanCache,
     normalize_query_text,
 )
+from repro.service.slo import (
+    classify_query,
+    observe_latency,
+    slo_report,
+)
 from repro.storage.repository import CompressedRepository
+from repro.util.clock import elapsed_ns, now_ns
 
 
 class PreparedPlan:
@@ -58,7 +64,7 @@ class PreparedPlan:
     plan to the session it will run on.
     """
 
-    __slots__ = ("key", "text", "ast", "diagnostics")
+    __slots__ = ("key", "text", "ast", "diagnostics", "query_class")
 
     def __init__(self, key: str | None, text: str | None,
                  ast: Expression, diagnostics: list):
@@ -66,6 +72,9 @@ class PreparedPlan:
         self.text = text
         self.ast = ast
         self.diagnostics = diagnostics
+        #: SLO bucket the plan's serving latencies are filed under
+        #: (computed once here, reused by every cached-plan run).
+        self.query_class = classify_query(ast)
 
     def __repr__(self) -> str:
         return f"<PreparedPlan {self.text or type(self.ast).__name__!r}>"
@@ -250,16 +259,34 @@ class Session:
         telemetry_on = (options.telemetry.enabled
                         if options.telemetry is not None
                         else options.telemetry_enabled
-                        or self.telemetry_enabled)
+                        or self.telemetry_enabled
+                        or bool(options.profile))
         self.metrics.add("session.executions")
-        if telemetry_on or record:
-            with self._activation_lock:
-                return engine.execute(prepared.ast, options,
-                                      diagnostics=prepared.diagnostics,
-                                      label=prepared.plan.text)
-        return engine.execute(prepared.ast, options,
-                              diagnostics=prepared.diagnostics,
-                              label=prepared.plan.text)
+        start_ns = now_ns()
+        try:
+            if telemetry_on or record:
+                with self._activation_lock:
+                    return engine.execute(
+                        prepared.ast, options,
+                        diagnostics=prepared.diagnostics,
+                        label=prepared.plan.text)
+            return engine.execute(prepared.ast, options,
+                                  diagnostics=prepared.diagnostics,
+                                  label=prepared.plan.text)
+        finally:
+            # Per-class serving latency, failed runs included — a
+            # query that errors out still occupied the session.
+            observe_latency(self.metrics, prepared.plan.query_class,
+                            elapsed_ns(start_ns))
+
+    def slo_report(self, objectives=None) -> dict:
+        """Per-query-class latency quantiles + cache hit-rate gauges.
+
+        ``objectives`` is an optional list of
+        :class:`~repro.service.slo.LatencyObjective` targets to check;
+        rendered by ``repro perf report``.
+        """
+        return slo_report(self.metrics, objectives)
 
     def _engine_for(self, options: ExecutionOptions) -> QueryEngine:
         if options.use_block_cache:
@@ -294,7 +321,8 @@ class Session:
             query, use_cache=options.use_plan_cache
             if options is not None else True)
         with self._activation_lock:
-            return explain_analyze(prepared.ast, self.engine)
+            return explain_analyze(prepared.ast, self.engine,
+                                   options=options)
 
     def explain_analyze(self, query: str | Expression) -> str:
         """The rendered ``EXPLAIN ANALYZE`` text."""

@@ -1,0 +1,221 @@
+"""Serving SLOs: per-query-class latency distributions + cache gauges.
+
+The Session layer serves heterogeneous queries; one global latency
+histogram hides a slow join behind a million fast point lookups.  Every
+:meth:`Session.execute <repro.service.session.Session.execute>` (and
+each ``execute_many`` worker) therefore observes its end-to-end wall
+time into a per-**query-class** histogram —
+``slo.latency_ns.<class>`` on the session's shared registry — where
+the class is derived from the prepared plan's AST shape:
+
+``point``      FLWOR with an equality-only where clause (the paper's
+               Fig. 7 Q1 shape — index/point lookups);
+``scan``       FLWOR whose where clause compares with ``<``/``>``/
+               wildcards, or path expressions with positional or value
+               predicates (range/scan-heavy);
+``join``       FLWOR with more than one ``for`` binding (structural
+               or value joins);
+``path``       bare path expressions (navigation only);
+``construct``  element constructors at the top level;
+``other``      everything else.
+
+:func:`slo_report` folds those histograms (p50/p95/p99) together with
+plan/block-cache hit-rate gauges into one JSON-ready document —
+``repro perf report`` renders it — and optionally checks a list of
+:class:`LatencyObjective` targets against it, the serving layer's
+analogue of the benchmark regression gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.query import ast as qast
+from repro.util.clock import NS_PER_S
+
+#: histogram name prefix for per-class serving latencies (ns values).
+LATENCY_PREFIX = "slo.latency_ns."
+
+#: the percentiles the report quotes, in rendering order.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def classify_query(expression) -> str:
+    """The query class a prepared plan's latency is filed under."""
+    if isinstance(expression, qast.FLWOR):
+        for_bindings = sum(isinstance(clause, qast.ForClause)
+                           for clause in expression.clauses)
+        if for_bindings > 1:
+            return "join"
+        kinds = _predicate_operators(expression.where)
+        if kinds and kinds <= {"="}:
+            return "point"
+        if kinds or expression.where is not None:
+            return "scan"
+        return "path"
+    if isinstance(expression, qast.PathExpr):
+        if any(step.predicates for step in expression.steps):
+            return "scan"
+        return "path"
+    if isinstance(expression, qast.ElementConstructor):
+        return "construct"
+    return "other"
+
+
+def _predicate_operators(expression) -> set[str]:
+    """All comparison operators appearing under a where clause."""
+    if expression is None:
+        return set()
+    out: set[str] = set()
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, qast.Comparison):
+            out.add(node.op)
+        elif isinstance(node, qast.Logical):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, qast.FunctionCall):
+            # starts-with/contains etc. are wildcard-shaped work.
+            out.add(node.name)
+    return out
+
+
+def observe_latency(metrics: MetricsRegistry, query_class: str,
+                    wall_ns: int) -> None:
+    """File one serving latency under its query class."""
+    metrics.observe(LATENCY_PREFIX + query_class, wall_ns)
+    metrics.add(f"slo.served.{query_class}")
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """One target: percentile of a class must stay under a bound."""
+
+    query_class: str
+    percentile: float
+    target_ms: float
+
+    @classmethod
+    def parse(cls, spec: str) -> "LatencyObjective":
+        """Parse ``CLASS:pNN:MILLIS`` (e.g. ``point:p95:5``)."""
+        parts = spec.split(":")
+        if len(parts) != 3 or not parts[1].lower().startswith("p"):
+            raise ValueError(
+                f"SLO spec {spec!r} is not CLASS:pNN:MILLIS "
+                "(e.g. point:p95:5)")
+        return cls(query_class=parts[0],
+                   percentile=float(parts[1][1:]),
+                   target_ms=float(parts[2]))
+
+
+def _cache_gauges(counters: dict[str, int]) -> dict[str, dict]:
+    """Plan/block-cache hit-rate gauges from ``cache.*`` counters."""
+    gauges: dict[str, dict] = {}
+    for cache in ("plan", "block"):
+        hits = counters.get(f"cache.{cache}.hit", 0)
+        misses = counters.get(f"cache.{cache}.miss", 0)
+        total = hits + misses
+        gauges[cache] = {
+            "hit": hits,
+            "miss": misses,
+            "hit_rate": (hits / total) if total else None,
+        }
+    return gauges
+
+
+def slo_report(metrics: MetricsRegistry,
+               objectives: list[LatencyObjective] | None = None
+               ) -> dict:
+    """The serving-SLO document: latencies, gauges, objective checks.
+
+    Latency quantiles are reported in milliseconds (measurements are
+    nanoseconds on the monotonic clock); ``objectives`` entries are
+    checked against the matching class percentile — an objective over
+    a class with no observations is reported as unmet-by-absence
+    (``actual_ms: None, ok: False``) rather than silently passing.
+    """
+    classes: dict[str, dict] = {}
+    for name, hist in metrics.histograms().items():
+        if not name.startswith(LATENCY_PREFIX):
+            continue
+        query_class = name[len(LATENCY_PREFIX):]
+        histogram = metrics.histogram(name)
+        row = {"count": hist["count"]}
+        for p in PERCENTILES:
+            row[f"p{p:g}_ms"] = (
+                histogram.percentile(p) / (NS_PER_S / 1000.0)
+                if hist["count"] else None)
+        row["max_ms"] = hist["max"] / (NS_PER_S / 1000.0)
+        classes[query_class] = row
+    checks = []
+    for objective in objectives or []:
+        row = classes.get(objective.query_class)
+        key = f"p{objective.percentile:g}_ms"
+        actual = row.get(key) if row else None
+        if actual is None and row and row["count"]:
+            histogram = metrics.histogram(
+                LATENCY_PREFIX + objective.query_class)
+            actual = histogram.percentile(objective.percentile) \
+                / (NS_PER_S / 1000.0)
+        checks.append({
+            "class": objective.query_class,
+            "percentile": objective.percentile,
+            "target_ms": objective.target_ms,
+            "actual_ms": actual,
+            "ok": actual is not None
+            and actual <= objective.target_ms,
+        })
+    return {
+        "classes": dict(sorted(classes.items())),
+        "caches": _cache_gauges(metrics.counters()),
+        "objectives": checks,
+    }
+
+
+def render_slo_report(report: dict) -> str:
+    """The SLO document as aligned monospace text."""
+    out = ["-- serving latency by query class --"]
+    classes = report["classes"]
+    if not classes:
+        out.append("no latencies recorded")
+    else:
+        headers = ["class", "count"] + \
+            [f"p{p:g}_ms" for p in PERCENTILES] + ["max_ms"]
+        rows = []
+        for name, row in classes.items():
+            cells = [name, str(row["count"])]
+            for p in PERCENTILES:
+                value = row[f"p{p:g}_ms"]
+                cells.append("n/a" if value is None
+                             else f"{value:.3f}")
+            cells.append(f"{row['max_ms']:.3f}")
+            rows.append(cells)
+        widths = [len(h) for h in headers]
+        for cells in rows:
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        out.append("  ".join(h.ljust(w)
+                             for h, w in zip(headers, widths)))
+        for cells in rows:
+            out.append("  ".join(c.ljust(w)
+                                 for c, w in zip(cells, widths)))
+    out.append("")
+    out.append("-- cache hit rates --")
+    for cache, gauge in report["caches"].items():
+        rate = gauge["hit_rate"]
+        out.append(f"{cache}: {gauge['hit']} hits / "
+                   f"{gauge['miss']} misses "
+                   f"({'n/a' if rate is None else f'{rate:.1%}'})")
+    if report["objectives"]:
+        out.append("")
+        out.append("-- latency objectives --")
+        for check in report["objectives"]:
+            actual = check["actual_ms"]
+            verdict = "OK" if check["ok"] else "VIOLATED"
+            out.append(
+                f"{check['class']} p{check['percentile']:g} "
+                f"<= {check['target_ms']:g} ms: "
+                f"{'no observations' if actual is None else f'{actual:.3f} ms'}"
+                f" [{verdict}]")
+    return "\n".join(out)

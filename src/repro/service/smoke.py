@@ -20,25 +20,25 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.bench.trajectory import TRAJECTORY_PATH, load_trajectory, \
     record_point
+from repro.util.clock import Stopwatch, ns_to_s
 
 
 def _run_queries(session, query_ids: list[str], texts: dict[str, str],
-                 repeat: int, cold: bool) -> dict[str, float]:
-    """Total wall seconds per query over ``repeat`` runs."""
-    totals: dict[str, float] = {qid: 0.0 for qid in query_ids}
+                 repeat: int, cold: bool) -> dict[str, int]:
+    """Total wall nanoseconds per query over ``repeat`` runs."""
+    totals: dict[str, int] = {qid: 0 for qid in query_ids}
     for _ in range(repeat):
         for query_id in query_ids:
             if cold:
                 session.invalidate_caches()
-            start = time.perf_counter()
-            result = session.execute(texts[query_id])
-            len(result.items)
-            totals[query_id] += time.perf_counter() - start
+            with Stopwatch() as watch:
+                result = session.execute(texts[query_id])
+                len(result.items)
+            totals[query_id] += watch.ns
     return totals
 
 
@@ -77,17 +77,17 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     counters = database.metrics.counters()
     plan_hits = counters.get("cache.plan.hit", 0)
     block_hits = counters.get("cache.block.hit", 0)
-    cold_total = sum(cold.values())
-    warm_total = sum(warm.values())
+    cold_total = ns_to_s(sum(cold.values()))
+    warm_total = ns_to_s(sum(warm.values()))
     speedup = cold_total / warm_total if warm_total else float("inf")
     for query_id in query_ids:
-        print(f"{query_id}: cold {cold[query_id]:.4f} s, "
-              f"warm {warm[query_id]:.4f} s "
+        print(f"{query_id}: cold {ns_to_s(cold[query_id]):.4f} s, "
+              f"warm {ns_to_s(warm[query_id]):.4f} s "
               f"({args.repeat} runs each)", file=out)
         for phase, totals in (("cold", cold), ("warm", warm)):
             record_point(
                 query=query_id,
-                wall_s=totals[query_id] / args.repeat,
+                wall_ns=totals[query_id] // args.repeat,
                 experiment=f"service_smoke_{phase}",
                 items=0,
                 path=args.trajectory)

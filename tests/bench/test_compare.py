@@ -1,0 +1,224 @@
+"""Tests for the noise-aware perf-regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    CompareReport,
+    compare_points,
+    group_points,
+    main,
+    median,
+)
+
+
+def point(query: str, wall_s: float,
+          experiment: str = "smoke") -> dict:
+    return {"experiment": experiment, "query": query,
+            "wall_s": wall_s}
+
+
+def points(query: str, *walls: float,
+           experiment: str = "smoke") -> list[dict]:
+    return [point(query, w, experiment=experiment) for w in walls]
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestGroupPoints:
+    def test_groups_by_experiment_and_query(self):
+        pts = points("q1", 1.0, 2.0) + points("q2", 3.0)
+        groups = group_points(pts)
+        assert groups[("smoke", "q1")] == [1.0, 2.0]
+        assert groups[("smoke", "q2")] == [3.0]
+
+    def test_skips_nonpositive_and_missing_wall(self):
+        pts = [point("q", 0.0), point("q", -1.0),
+               {"experiment": "smoke", "query": "q"},
+               point("q", 2.0)]
+        assert group_points(pts) == {("smoke", "q"): [2.0]}
+
+    def test_experiment_filter(self):
+        pts = points("q", 1.0) + \
+            points("q", 9.0, experiment="other")
+        groups = group_points(pts, {"smoke"})
+        assert list(groups) == [("smoke", "q")]
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        base = points("q1", 1.0, 1.1, 0.9)
+        report = compare_points(base, base)
+        assert report.ok
+        assert [e.status for e in report.entries] == ["ok"]
+
+    def test_regression_fails_gate(self):
+        base = points("q1", 1.0, 1.0, 1.0)
+        cur = points("q1", 2.0, 2.1, 1.9)  # 2x > 1.5x threshold
+        report = compare_points(cur, base)
+        assert not report.ok
+        assert report.entries[0].status == "regression"
+        assert report.entries[0].ratio == pytest.approx(2.0)
+
+    def test_within_threshold_is_ok(self):
+        base = points("q1", 1.0, 1.0, 1.0)
+        cur = points("q1", 1.4, 1.4, 1.4)  # 1.4x <= 1.5x
+        report = compare_points(cur, base)
+        assert report.ok
+        assert report.entries[0].status == "ok"
+
+    def test_improvement_reported_not_failed(self):
+        base = points("q1", 3.0, 3.0, 3.0)
+        cur = points("q1", 1.0, 1.0, 1.0)
+        report = compare_points(cur, base)
+        assert report.ok
+        assert report.entries[0].status == "improvement"
+
+    def test_insufficient_samples_never_fail(self):
+        base = points("q1", 1.0, 1.0, 1.0)
+        cur = points("q1", 50.0)  # huge, but only one sample
+        report = compare_points(cur, base)
+        assert report.ok
+        assert report.entries[0].status == "insufficient"
+
+    def test_insufficient_baseline_side_too(self):
+        base = points("q1", 1.0)
+        cur = points("q1", 50.0, 50.0, 50.0)
+        report = compare_points(cur, base)
+        assert report.entries[0].status == "insufficient"
+        assert report.ok
+
+    def test_min_samples_knob(self):
+        base = points("q1", 1.0, 1.0)
+        cur = points("q1", 5.0, 5.0)
+        strict = compare_points(cur, base, min_samples=3)
+        assert strict.entries[0].status == "insufficient"
+        loose = compare_points(cur, base, min_samples=2)
+        assert loose.entries[0].status == "regression"
+
+    def test_new_and_missing_are_informational(self):
+        base = points("old", 1.0, 1.0, 1.0)
+        cur = points("new", 1.0, 1.0, 1.0)
+        report = compare_points(cur, base)
+        statuses = {e.query: e.status for e in report.entries}
+        assert statuses == {"new": "new", "old": "missing"}
+        assert report.ok
+
+    def test_empty_current_is_an_error(self):
+        base = points("q1", 1.0, 1.0, 1.0)
+        report = compare_points([], base)
+        assert not report.ok
+        assert any("recorded nothing" in e for e in report.errors)
+
+    def test_empty_baseline_is_an_error(self):
+        cur = points("q1", 1.0, 1.0, 1.0)
+        report = compare_points(cur, [])
+        assert not report.ok
+        assert any("baseline" in e for e in report.errors)
+
+    def test_experiment_filter_scopes_the_gate(self):
+        base = points("q1", 1.0, 1.0, 1.0) + \
+            points("q1", 1.0, 1.0, 1.0, experiment="other")
+        cur = points("q1", 1.0, 1.0, 1.0) + \
+            points("q1", 9.0, 9.0, 9.0, experiment="other")
+        gated = compare_points(cur, base, experiments={"smoke"})
+        assert gated.ok
+        full = compare_points(cur, base)
+        assert not full.ok
+
+
+class TestReportShapes:
+    def test_to_dict_counts_statuses(self):
+        base = points("a", 1.0, 1.0, 1.0) + \
+            points("b", 1.0, 1.0, 1.0)
+        cur = points("a", 1.0, 1.0, 1.0) + \
+            points("b", 9.0, 9.0, 9.0)
+        payload = compare_points(cur, base).to_dict()
+        assert payload["status_counts"] == \
+            {"ok": 1, "regression": 1}
+        assert payload["ok"] is False
+        json.dumps(payload)  # JSON-clean
+
+    def test_render_text_verdict_line(self):
+        base = points("a", 1.0, 1.0, 1.0)
+        text = compare_points(base, base).render_text()
+        assert "gate: PASS" in text
+        slow = points("a", 9.0, 9.0, 9.0)
+        text = compare_points(slow, base).render_text()
+        assert "gate: FAIL" in text
+
+    def test_empty_report_ok_false_only_with_errors(self):
+        report = CompareReport(threshold=0.5, min_samples=3)
+        assert report.ok  # vacuously: no entries, no errors
+        report.errors.append("boom")
+        assert not report.ok
+
+
+class TestMainEntry:
+    """End-to-end through the CLI surface: committed baseline passes,
+    a synthetically slowed run exits 1 (the acceptance criterion)."""
+
+    @pytest.fixture
+    def trajectories(self, tmp_path):
+        base = {"points": points("fig7_q1", 1.0, 1.0, 1.0)
+                + points("fig7_q2", 2.0, 2.0, 2.0)}
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text(json.dumps(base), encoding="utf-8")
+        current = tmp_path / "BENCH_trajectory.json"
+        current.write_text(json.dumps(base), encoding="utf-8")
+        return baseline, current
+
+    def run(self, *argv) -> tuple[int, str]:
+        import io
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_identical_exits_zero(self, trajectories):
+        baseline, current = trajectories
+        code, output = self.run(
+            "--baseline", str(baseline), "--trajectory", str(current))
+        assert code == 0
+        assert "gate: PASS" in output
+
+    def test_slowed_run_exits_one(self, trajectories, tmp_path):
+        baseline, current = trajectories
+        data = json.loads(current.read_text(encoding="utf-8"))
+        for pt in data["points"]:  # synthetic 10x slowdown
+            pt["wall_s"] *= 10.0
+        current.write_text(json.dumps(data), encoding="utf-8")
+        code, output = self.run(
+            "--baseline", str(baseline), "--trajectory", str(current))
+        assert code == 1
+        assert "regression" in output
+
+    def test_json_and_output_file(self, trajectories, tmp_path):
+        baseline, current = trajectories
+        report_path = tmp_path / "report.json"
+        code, output = self.run(
+            "--baseline", str(baseline), "--trajectory", str(current),
+            "--json", "--output", str(report_path))
+        assert code == 0
+        assert json.loads(output)["ok"] is True
+        assert json.loads(
+            report_path.read_text(encoding="utf-8"))["ok"] is True
+
+    def test_missing_current_file_is_gate_failure(self, trajectories,
+                                                  tmp_path):
+        baseline, _ = trajectories
+        code, output = self.run(
+            "--baseline", str(baseline),
+            "--trajectory", str(tmp_path / "absent.json"))
+        assert code == 1
+        assert "recorded nothing" in output

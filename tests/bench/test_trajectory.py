@@ -10,6 +10,8 @@ from repro.bench.trajectory import (
     point_from_workload_record,
     record_point,
 )
+from repro.obs import runtime
+from repro.obs.telemetry import Telemetry
 from repro.obs.workload import WorkloadRecord
 
 
@@ -43,17 +45,50 @@ class TestRecordPoint:
         assert leftovers == []
 
 
+class TestRecordPointNs:
+    def test_wall_ns_stored_alongside_seconds(self, trajectory):
+        record_point("Q1", wall_ns=2_500_000, path=trajectory,
+                     ts="t")
+        point = load_trajectory(trajectory)[0]
+        assert point["wall_ns"] == 2_500_000
+        assert point["wall_s"] == pytest.approx(0.0025)
+
+    def test_seconds_alone_still_accepted(self, trajectory):
+        record_point("Q1", 0.5, path=trajectory, ts="t")
+        point = load_trajectory(trajectory)[0]
+        assert point["wall_s"] == 0.5
+
+    def test_neither_clock_raises(self, trajectory):
+        with pytest.raises(TypeError):
+            record_point("Q1", path=trajectory, ts="t")
+
+
 class TestLoadTrajectory:
     def test_missing_file(self, trajectory):
         assert load_trajectory(trajectory) == []
 
-    def test_corrupt_file(self, trajectory):
+    def test_corrupt_file_warns_and_counts(self, trajectory,
+                                           capsys):
         trajectory.write_text("{not json")
-        assert load_trajectory(trajectory) == []
+        telemetry = Telemetry(enabled=True)
+        with runtime.activated(telemetry):
+            assert load_trajectory(trajectory) == []
+        err = capsys.readouterr().err
+        assert "corrupt" in err.lower()
+        assert str(trajectory) in err
+        assert telemetry.metrics.counters()[
+            "bench.trajectory.corrupt"] == 1
 
-    def test_foreign_document_shape(self, trajectory):
+    def test_foreign_document_shape_warns(self, trajectory,
+                                          capsys):
         trajectory.write_text(json.dumps([1, 2]))
         assert load_trajectory(trajectory) == []
+        assert "corrupt" in capsys.readouterr().err.lower()
+
+    def test_healthy_file_is_silent(self, trajectory, capsys):
+        record_point("Q1", 0.5, path=trajectory, ts="t")
+        assert len(load_trajectory(trajectory)) == 1
+        assert capsys.readouterr().err == ""
 
 
 class TestPointFromWorkloadRecord:
@@ -94,3 +129,15 @@ class TestMain:
         points = load_trajectory(trajectory)
         assert [p["query"] for p in points] == ["Q1", "Q5"]
         assert all(p["wall_s"] > 0 for p in points)
+        assert all(p["wall_ns"] > 0 for p in points)
+
+    def test_repeat_appends_one_point_per_run(self, tmp_path):
+        trajectory = tmp_path / "BENCH_trajectory.json"
+        journal = tmp_path / "journal.jsonl"
+        rc = main(["--factor", "0.002", "--queries", "Q1",
+                   "--repeat", "3",
+                   "--journal", str(journal),
+                   "--trajectory", str(trajectory)])
+        assert rc == 0
+        points = load_trajectory(trajectory)
+        assert [p["query"] for p in points] == ["Q1"] * 3

@@ -1,0 +1,52 @@
+"""Tests for the shared monotonic ns clock."""
+
+import time
+
+from repro.util.clock import (
+    NS_PER_S,
+    Stopwatch,
+    elapsed_ns,
+    now_ns,
+    ns_to_s,
+    s_to_ns,
+)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        assert ns_to_s(s_to_ns(1.5)) == 1.5
+        assert s_to_ns(0.25) == NS_PER_S // 4
+
+    def test_ns_to_s_is_float_seconds(self):
+        assert ns_to_s(NS_PER_S) == 1.0
+        assert ns_to_s(500_000_000) == 0.5
+
+
+class TestNow:
+    def test_monotonic(self):
+        a = now_ns()
+        b = now_ns()
+        assert b >= a
+
+    def test_elapsed_nonnegative_integer(self):
+        start = now_ns()
+        delta = elapsed_ns(start)
+        assert isinstance(delta, int)
+        assert delta >= 0
+
+
+class TestStopwatch:
+    def test_times_the_block(self):
+        with Stopwatch() as watch:
+            time.sleep(0.01)
+        assert watch.ns >= 5_000_000  # at least 5 ms observed
+        assert watch.seconds == watch.ns / NS_PER_S
+
+    def test_restartable(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.ns
+        with watch:
+            time.sleep(0.005)
+        assert watch.ns >= first
