@@ -18,6 +18,8 @@ Commands mirror how the paper's system is used:
   (capture with ``query --record``);
 * ``lint-plan``  — statically verify the plans a query would run as;
 * ``lint-src``   — check engine-wide source invariants (Tier B lint);
+* ``lint-concurrency`` — check lock discipline: acquisition order,
+  release guarantees, guarded fields (Tier C lint);
 * ``verify``     — differential correctness oracle: compressed-domain
   evaluation vs a decompress-first reference (CI ``verify-oracle``);
 * ``xmlgen``     — generate an XMark auction document.
@@ -196,6 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint_src.add_argument("--json", action="store_true",
                           help="emit diagnostics as JSON")
 
+    lint_conc = commands.add_parser(
+        "lint-concurrency",
+        help="check lock discipline: acquisition order, release "
+             "guarantees, guarded fields (Tier C lint)")
+    lint_conc.add_argument("paths", type=Path, nargs="*",
+                           help="files/directories to lint (default: "
+                                "the installed repro package)")
+    lint_conc.add_argument("--json", action="store_true",
+                          help="emit the full report (inventory, "
+                               "edges, levels, diagnostics) as JSON")
+
     verify = commands.add_parser(
         "verify",
         help="differential oracle: compressed-domain evaluation vs a "
@@ -247,6 +260,7 @@ def main(argv: list[str] | None = None,
         "workload": _cmd_workload,
         "lint-plan": _cmd_lint_plan,
         "lint-src": _cmd_lint_src,
+        "lint-concurrency": _cmd_lint_concurrency,
         "verify": _cmd_verify,
         "xmlgen": _cmd_xmlgen,
     }
@@ -580,6 +594,31 @@ def _cmd_lint_src(args, out) -> int:
         print(f"{len(diagnostics)} diagnostic(s) in "
               f"{len(paths)} path(s)", file=out)
     return 1 if diagnostics else 0
+
+
+def _cmd_lint_concurrency(args, out) -> int:
+    import json
+
+    from repro.lint.concurrency import lint_concurrency
+
+    paths = list(args.paths)
+    if not paths:
+        import repro
+        paths = [Path(repro.__file__).parent]
+    report = lint_concurrency(paths)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        for diagnostic in report.diagnostics:
+            print(diagnostic.format(), file=out)
+        locks = sum(p.kind in ("Lock", "RLock")
+                    for p in report.primitives)
+        print(f"{len(report.diagnostics)} diagnostic(s); "
+              f"{len(report.primitives)} primitive(s) "
+              f"({locks} locks), "
+              f"{len(report.edges)} acquisition edge(s)", file=out)
+    return 0 if report.ok else 1
 
 
 def _cmd_verify(args, out) -> int:

@@ -102,6 +102,37 @@ _ALL: tuple[Rule, ...] = (
     Rule("src.mutable-default", "error",
          "mutable default argument value",
          "repo convention"),
+    Rule("src.untracked-threading-primitive", "error",
+         "threading primitive created outside the inventoried "
+         "positions (module constant, class-body constant or "
+         "self-attribute) — invisible to the Tier-C lock analysis "
+         "and the runtime watchdog",
+         "concurrency discipline (PR 7)"),
+    # -- Tier C: concurrency lint ---------------------------------------------
+    Rule("conc.lock-order-cycle", "error",
+         "cycle in the static lock-acquisition graph: two code paths "
+         "acquire the same locks in opposite orders (deadlock)",
+         "concurrency discipline (PR 7)"),
+    Rule("conc.self-deadlock", "error",
+         "a non-reentrant lock may be acquired again while already "
+         "held on the same code path",
+         "concurrency discipline (PR 7)"),
+    Rule("conc.acquire-no-release", "error",
+         "lock.acquire() without a release guaranteed on exception "
+         "paths",
+         "concurrency discipline (PR 7)"),
+    Rule("conc.unguarded-field", "error",
+         "field declared guarded-by a lock is touched outside a "
+         "`with` on that lock",
+         "concurrency discipline (PR 7)"),
+    Rule("conc.unknown-guard", "error",
+         "guarded-field annotation names a lock attribute the "
+         "inventory does not know",
+         "concurrency discipline (PR 7)"),
+    Rule("conc.holds-violation", "error",
+         "function annotated `# holds: <lock>` is called at a site "
+         "where that lock is not held",
+         "concurrency discipline (PR 7)"),
 )
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _ALL}

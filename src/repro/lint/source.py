@@ -6,7 +6,9 @@ traced base ``__iter__`` and implements ``_rows``; every codec wired
 into :mod:`repro.compression.registry` declares its §3.2
 :class:`~repro.compression.base.CompressionProperties` capability
 tuple; decompression inside :mod:`repro.query.physical` happens only at
-the sanctioned ``TextContent``/``Decompress`` sites; and the usual
+the sanctioned ``TextContent``/``Decompress`` sites; every
+``threading`` primitive is created where the Tier-C concurrency
+inventory (:mod:`repro.lint.concurrency`) can see it; and the usual
 Python footguns (bare ``except:``, mutable default arguments) stay out
 of ``src/repro``.
 
@@ -27,6 +29,13 @@ SANCTIONED_DECODE_SITES = frozenset({"TextContent", "Decompress"})
 
 #: constructor names whose call as a default argument is mutable.
 _MUTABLE_FACTORIES = frozenset({"list", "dict", "set"})
+
+#: threading primitives the Tier-C inventory tracks; creating one
+#: anywhere the inventory cannot see it defeats the lock analysis.
+_THREADING_PRIMITIVES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier", "Thread",
+})
 
 #: the root of the codec hierarchy; declaring ``properties`` there does
 #: not count as a concrete declaration.
@@ -243,8 +252,110 @@ def _lint_file(file: Path, tree: ast.Module
                 hint="catch a concrete exception (see repro.errors)"))
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             diagnostics.extend(_check_defaults(file, node))
+    diagnostics.extend(_check_threading_primitives(file, tree))
     if file.name == "physical.py" and "query" in file.parts:
         diagnostics.extend(_check_raw_decode(file, tree))
+    return diagnostics
+
+
+def _threading_calls(tree: ast.Module) -> set[int]:
+    """``id()`` of every Call node constructing a threading primitive
+    (``threading.Lock()`` or a from-imported ``Lock()``)."""
+    module_aliases = {"threading"} if any(
+        isinstance(n, ast.Import)
+        and any(a.name == "threading" for a in n.names)
+        for n in ast.walk(tree)) else set()
+    from_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "threading":
+                    module_aliases.add(alias.asname or "threading")
+        elif isinstance(node, ast.ImportFrom) and \
+                node.module == "threading":
+            for alias in node.names:
+                if alias.name in _THREADING_PRIMITIVES:
+                    from_names.add(alias.asname or alias.name)
+    calls: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in module_aliases and \
+                func.attr in _THREADING_PRIMITIVES:
+            calls.add(id(node))
+        elif isinstance(func, ast.Name) and func.id in from_names:
+            calls.add(id(node))
+    return calls
+
+
+def _check_threading_primitives(file: Path, tree: ast.Module
+                                ) -> list[SourceDiagnostic]:
+    """Flag threading primitives created where the Tier-C inventory
+    (:mod:`repro.lint.concurrency`) cannot see them.
+
+    Inventoried positions: a module-level ``NAME = ...`` constant, a
+    class-body constant, a ``self.attr = ...`` assignment, or a local
+    variable the same function then publishes as ``self.attr =
+    name``.  Anything else (a lock born inside a loop, passed straight
+    into a call, stuffed in a dict) is invisible to the static lock
+    graph and the runtime watchdog.
+    """
+    calls = _threading_calls(tree)
+    if not calls:
+        return []
+    sanctioned: set[int] = set()
+
+    def sanction(value: ast.expr) -> None:
+        for node in ast.walk(value):
+            if id(node) in calls:
+                sanctioned.add(id(node))
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and all(
+                isinstance(t, ast.Name) for t in stmt.targets):
+            sanction(stmt.value)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    sanction(stmt.value)
+                elif isinstance(stmt, ast.AnnAssign) and \
+                        stmt.value is not None:
+                    sanction(stmt.value)
+        elif isinstance(node,
+                        (ast.FunctionDef, ast.AsyncFunctionDef)):
+            published: set[str] = set()
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Assign):
+                    continue
+                for target in child.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        sanction(child.value)
+                        if isinstance(child.value, ast.Name):
+                            published.add(child.value.id)
+            for child in ast.walk(node):
+                if isinstance(child, ast.Assign) and all(
+                        isinstance(t, ast.Name)
+                        and t.id in published
+                        for t in child.targets) and child.targets:
+                    sanction(child.value)
+    diagnostics: list[SourceDiagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and id(node) in calls and \
+                id(node) not in sanctioned:
+            diagnostics.append(SourceDiagnostic.make(
+                "src.untracked-threading-primitive", str(file),
+                node.lineno,
+                "threading primitive created outside the "
+                "inventoried positions",
+                hint="bind it as a module constant, class-body "
+                     "constant or self-attribute so the Tier-C lock "
+                     "analysis and the watchdog can see it"))
     return diagnostics
 
 

@@ -19,6 +19,10 @@ compressed domain, decompression is deferred to serialization — is
   profiler that attributes ``sys._current_frames()`` samples to the
   span stack each thread has open, yielding per-span self/total CPU
   shares and folded-stack flamegraph exports;
+* :class:`~repro.obs.lockwatch.LockOrderWatchdog` — opt-in runtime
+  recorder of per-thread lock acquisition orders, cross-checked
+  against the Tier-C static acquisition graph
+  (:mod:`repro.lint.concurrency`);
 * :mod:`~repro.obs.runtime` — the module-level activation point the
   storage and compression layers check (one global load + ``is None``
   test when telemetry is off) to report codec encode/decode calls,
@@ -27,6 +31,12 @@ compressed domain, decompression is deferred to serialization — is
 """
 
 from repro.obs.journal import WorkloadJournal, default_journal_path
+from repro.obs.lockwatch import (
+    LockOrderViolation,
+    LockOrderWatchdog,
+    WatchedLock,
+    watch_session,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.profiler import (
     ProfileOptions,
@@ -44,6 +54,8 @@ from repro.obs.workload import (
 __all__ = [
     "Counter",
     "Histogram",
+    "LockOrderViolation",
+    "LockOrderWatchdog",
     "MetricsRegistry",
     "ProfileOptions",
     "Span",
@@ -51,9 +63,11 @@ __all__ = [
     "SpanProfiler",
     "Telemetry",
     "Tracer",
+    "WatchedLock",
     "WorkloadCapture",
     "WorkloadJournal",
     "WorkloadRecord",
     "WorkloadRecorder",
     "default_journal_path",
+    "watch_session",
 ]

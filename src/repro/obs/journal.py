@@ -49,6 +49,8 @@ class WorkloadJournal:
     record grows fields.
     """
 
+    GUARDED_BY = {"_handle": "_lock", "opens": "_lock"}
+
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._handle: IO[str] | None = None
@@ -64,7 +66,7 @@ class WorkloadJournal:
         """True when the journal file is present on disk."""
         return self.path.exists()
 
-    def _file(self) -> IO[str]:
+    def _file(self) -> IO[str]:  # holds: _lock
         """The persistent append handle (caller holds the lock)."""
         if self._handle is None or self._handle.closed:
             self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -20,7 +20,14 @@ import threading
 
 
 class Counter:
-    """A named, monotonically adjustable integer cell."""
+    """A named, monotonically adjustable integer cell.
+
+    ``value`` is deliberately *not* in a guarded-field registry: the
+    ``EvaluationStats`` hot path mutates it directly (``cell.value +=
+    1``) on per-run registries that are confined to one thread, and
+    reads are GIL-atomic.  Cross-thread increments must go through
+    :meth:`add`.
+    """
 
     __slots__ = ("name", "value", "_lock")
 
@@ -53,24 +60,40 @@ class Histogram:
 
     Every observation is kept (queries observe at operator granularity,
     so populations stay small); ``summary()`` sorts on demand.
+
+    Thread safety: the SLO layer observes latencies into *shared*
+    histograms from ``execute_many`` worker threads, so the
+    observation list is guarded — a torn ``sorted()`` over a list
+    mid-``append`` must not corrupt a percentile report.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_lock")
+
+    GUARDED_BY = {"values": "_lock"}
 
     def __init__(self, name: str):
         self.name = name
         self.values: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.values.append(value)
+        with self._lock:
+            self.values.append(value)
+
+    def snapshot(self) -> list[float]:
+        """A consistent copy of every observation so far."""
+        with self._lock:
+            return list(self.values)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        with self._lock:
+            return len(self.values)
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        with self._lock:
+            return sum(self.values)
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100].
@@ -84,21 +107,21 @@ class Histogram:
             raise ValueError(
                 f"histogram {self.name!r}: percentile {p!r} outside "
                 "[0, 100]")
-        if not self.values:
+        ordered = sorted(self.snapshot())
+        if not ordered:
             raise ValueError(
                 f"histogram {self.name!r} is empty: no observations "
                 "to take a percentile of")
-        ordered = sorted(self.values)
         rank = max(0, min(len(ordered) - 1,
                           round(p / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
     def summary(self) -> dict:
         """count/total/p50/p95/max as a plain dict (JSON-ready)."""
-        if not self.values:
+        ordered = sorted(self.snapshot())
+        if not ordered:
             return {"count": 0, "total": 0.0, "p50": 0.0,
                     "p95": 0.0, "max": 0.0}
-        ordered = sorted(self.values)
         last = len(ordered) - 1
         return {
             "count": len(ordered),
@@ -109,13 +132,15 @@ class Histogram:
         }
 
     def __repr__(self) -> str:
-        return f"<Histogram {self.name} n={len(self.values)}>"
+        return f"<Histogram {self.name} n={self.count}>"
 
 
 class MetricsRegistry:
     """Get-or-create registry of named counters and histograms."""
 
     __slots__ = ("_counters", "_histograms", "_lock")
+
+    GUARDED_BY = {"_counters": "_lock", "_histograms": "_lock"}
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
@@ -124,7 +149,7 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> Counter:
         """The counter called ``name``, created at 0 on first use."""
-        cell = self._counters.get(name)
+        cell = self._counters.get(name)  # lockfree-read (double-checked)
         if cell is None:
             with self._lock:
                 cell = self._counters.get(name)
@@ -139,7 +164,7 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name``, created empty on first use."""
-        hist = self._histograms.get(name)
+        hist = self._histograms.get(name)  # lockfree-read (double-checked)
         if hist is None:
             with self._lock:
                 hist = self._histograms.get(name)
@@ -176,11 +201,12 @@ class MetricsRegistry:
             if value:
                 self.add(name, value)
         with other._lock:
-            observations = [(name, list(hist.values))
-                            for name, hist in other._histograms.items()]
-        for name, values in observations:
+            hists = list(other._histograms.items())
+        # snapshot outside the registry lock: Histogram._lock stays a
+        # leaf of the lock hierarchy.
+        for name, hist in hists:
             target = self.histogram(name)
-            for value in values:
+            for value in hist.snapshot():
                 target.observe(value)
 
     def to_dict(self) -> dict:
@@ -189,5 +215,6 @@ class MetricsRegistry:
                 "histograms": self.histograms()}
 
     def __repr__(self) -> str:
-        return (f"<MetricsRegistry {len(self._counters)} counters, "
-                f"{len(self._histograms)} histograms>")
+        return (f"<MetricsRegistry "
+                f"{len(self._counters)} counters, "  # lockfree-read
+                f"{len(self._histograms)} histograms>")  # lockfree-read

@@ -245,32 +245,54 @@ class SpanProfiler:
         lowered while attached: a sampler that gets the GIL every 5 ms
         cannot sample at 97 Hz, let alone profile a 3 ms query.  The
         previous interval is restored on detach.
+
+        Every setup step is undone in one ``finally`` — a sampler
+        thread that dies mid-run, a failing hook installation or an
+        exception in the profiled block must never leak the lowered
+        switch interval or leave the process-wide span registry
+        attached (the registry's attach counter would pin span
+        publication overhead on every future query).
         """
-        if self.options.trace_allocations:
-            if tracer is None:
-                raise ValueError(
-                    "trace_allocations needs the run's tracer (span "
-                    "boundaries carry the snapshots)")
-            self._attach_alloc_hooks(tracer)
-        previous_switch = sys.getswitchinterval()
-        sys.setswitchinterval(
-            min(previous_switch,
-                1.0 / max(self.options.hz * 4.0, 1.0)))
-        tracer_module.profiling_attach()
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._sample_loop, name="repro-span-profiler",
-            daemon=True)
-        self._thread.start()
+        if self.options.trace_allocations and tracer is None:
+            raise ValueError(
+                "trace_allocations needs the run's tracer (span "
+                "boundaries carry the snapshots)")
+        hooks_attached = False
+        previous_switch: float | None = None
+        registry_attached = False
+        thread: threading.Thread | None = None
         try:
+            if self.options.trace_allocations:
+                self._attach_alloc_hooks(tracer)
+                hooks_attached = True
+            previous_switch = sys.getswitchinterval()
+            sys.setswitchinterval(
+                min(previous_switch,
+                    1.0 / max(self.options.hz * 4.0, 1.0)))
+            tracer_module.profiling_attach()
+            registry_attached = True
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._sample_loop, name="repro-span-profiler",
+                daemon=True)
+            assert thread.daemon, \
+                "the sampler must never block interpreter shutdown"
+            self._thread = thread
+            thread.start()
             yield self
         finally:
             self._stop.set()
-            self._thread.join()
+            if thread is not None and thread.is_alive():
+                # A healthy sampler exits within one wait() interval;
+                # the timeout only bounds a pathologically wedged one
+                # (it is a daemon, so it cannot hang shutdown).
+                thread.join(timeout=5.0)
             self._thread = None
-            tracer_module.profiling_detach()
-            sys.setswitchinterval(previous_switch)
-            if self.options.trace_allocations:
+            if registry_attached:
+                tracer_module.profiling_detach()
+            if previous_switch is not None:
+                sys.setswitchinterval(previous_switch)
+            if hooks_attached:
                 self._detach_alloc_hooks(tracer)
 
     # -- sampling -------------------------------------------------------------

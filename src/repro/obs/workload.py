@@ -140,6 +140,8 @@ class WorkloadRecorder:
     the capture and no file is ever opened.
     """
 
+    GUARDED_BY = {"records_written": "_count_lock"}
+
     def __init__(self, journal: WorkloadJournal | str | Path,
                  enabled: bool = True):
         self.journal = journal if isinstance(journal, WorkloadJournal) \

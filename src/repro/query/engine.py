@@ -167,6 +167,8 @@ class QueryEngine:
     ``document("name")/...`` paths (joins across documents included).
     """
 
+    GUARDED_BY = {"_verify_cache": "_verify_lock"}
+
     def __init__(self, repository: CompressedRepository,
                  collection: dict[str, CompressedRepository]
                  | None = None, telemetry_enabled: bool = False,

@@ -81,6 +81,8 @@ class CachedRepositoryView:
 
     __slots__ = ("_repository", "_cache", "_views", "_views_lock")
 
+    GUARDED_BY = {"_views": "_views_lock"}
+
     def __init__(self, repository: CompressedRepository,
                  cache: BlockCache):
         self._repository = repository
@@ -96,7 +98,7 @@ class CachedRepositoryView:
     def container(self, path: str) -> CachedContainerView:
         """The block-cached view of one container (views are shared,
         so per-path lookups stay one dict probe)."""
-        view = self._views.get(path)
+        view = self._views.get(path)  # lockfree-read (double-checked)
         if view is None:
             container = self._repository.container(path)
             with self._views_lock:

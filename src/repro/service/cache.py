@@ -51,7 +51,14 @@ def normalize_query_text(text: str) -> str:
 
 
 class PlanCache:
-    """A thread-safe LRU of prepared plans keyed on normalized text."""
+    """A thread-safe LRU of prepared plans keyed on normalized text.
+
+    Metric increments happen *outside* ``_lock``: the cache lock is a
+    leaf of the documented lock hierarchy (DESIGN "Lock hierarchy"),
+    so nothing that can itself block is ever called while holding it.
+    """
+
+    GUARDED_BY = {"_entries": "_lock"}
 
     def __init__(self, capacity: int = DEFAULT_PLAN_CAPACITY,
                  metrics: MetricsRegistry | None = None):
@@ -68,10 +75,11 @@ class PlanCache:
         """The cached plan for ``key``, or ``None`` (counts hit/miss)."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.metrics.add("cache.plan.miss")
-                return None
-            self._entries.move_to_end(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            self.metrics.add("cache.plan.miss")
+            return None
         self.metrics.add("cache.plan.hit")
         return entry
 
@@ -115,7 +123,12 @@ class BlockCache:
     the running total exceeds the budget, least-recently-used entries
     are evicted.  An entry bigger than the whole budget is not cached
     at all (it would evict everything for one use).
+
+    Like :class:`PlanCache`, ``_lock`` is a hierarchy leaf: metric
+    increments happen after the critical section.
     """
+
+    GUARDED_BY = {"_entries": "_lock", "_used": "_lock"}
 
     def __init__(self, budget_bytes: int = DEFAULT_BLOCK_BUDGET,
                  metrics: MetricsRegistry | None = None):
@@ -141,10 +154,11 @@ class BlockCache:
         hit/miss)."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.metrics.add("cache.block.miss")
-                return None
-            self._entries.move_to_end(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            self.metrics.add("cache.block.miss")
+            return None
         self.metrics.add("cache.block.hit")
         return entry[0]
 

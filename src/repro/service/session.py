@@ -137,6 +137,8 @@ class Session:
     way :class:`Database` does).
     """
 
+    GUARDED_BY = {"_raw_engine": "_engine_lock"}
+
     def __init__(self, repository: CompressedRepository,
                  collection: dict[str, CompressedRepository]
                  | None = None, *,

@@ -1,0 +1,120 @@
+"""A deterministic, seeded, barrier-driven interleaving harness.
+
+``threading`` gives no control over *when* each thread runs, so a
+naive stress test only ever explores whatever interleaving the OS
+scheduler happens to produce — green today, deadlocked in CI next
+month.  :class:`InterleavingScheduler` takes the scheduler out of the
+picture: worker threads pause at explicit :func:`checkpoint` calls and
+a controller grants exactly one worker at a time permission to run to
+its next checkpoint, picking the order from a seeded RNG.  The same
+seed always replays the same interleaving, so a failure is a pinned
+regression instead of a flake — and different seeds explore genuinely
+different acquisition orders.
+
+Permits and acknowledgements are semaphores, not events: a semaphore
+counts, so a grant issued before the worker blocks is never lost.
+Every wait carries a timeout — a worker that cannot reach its next
+checkpoint (deadlock) fails the test with a diagnosis instead of
+hanging the suite (CI additionally runs this under ``faulthandler``
+with a hard external timeout).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable
+
+#: generous per-step bound: any single step is sub-millisecond work,
+#: so a step that takes this long is a deadlock, not a slow machine.
+DEFAULT_STEP_TIMEOUT = 60.0
+
+
+class DeadlockDetected(AssertionError):
+    """A worker failed to reach its next checkpoint in time."""
+
+
+class InterleavingScheduler:
+    """Serializes worker steps in a seeded pseudo-random order.
+
+    Usage::
+
+        sched = InterleavingScheduler(seed=11)
+        sched.spawn("writer", lambda step: (op1(), step(), op2()))
+        sched.spawn("reader", lambda step: (op3(), step(), op4()))
+        sched.run()   # raises on worker error or deadlock
+
+    Each worker receives a ``step`` callable and must call it between
+    operations; the code between two ``step()`` calls runs while every
+    other worker is parked at a checkpoint.
+    """
+
+    def __init__(self, seed: int,
+                 step_timeout: float = DEFAULT_STEP_TIMEOUT):
+        self.rng = random.Random(seed)
+        self.step_timeout = step_timeout
+        self._permits: dict[str, threading.Semaphore] = {}
+        self._threads: dict[str, threading.Thread] = {}
+        self._ack = threading.Semaphore(0)
+        self._finished: set[str] = set()
+        self._errors: dict[str, BaseException] = {}
+        self.steps_granted = 0
+
+    def spawn(self, name: str,
+              worker: Callable[[Callable[[], None]], None]) -> None:
+        """Register and start a worker (parked until :meth:`run`)."""
+        if name in self._permits:
+            raise ValueError(f"duplicate worker name {name!r}")
+        permit = threading.Semaphore(0)
+        self._permits[name] = permit
+
+        def step() -> None:
+            self._ack.release()
+            if not permit.acquire(timeout=self.step_timeout):
+                raise DeadlockDetected(
+                    f"worker {name!r} starved waiting for a permit")
+
+        def run() -> None:
+            try:
+                if not permit.acquire(timeout=self.step_timeout):
+                    raise DeadlockDetected(
+                        f"worker {name!r} never granted a first step")
+                worker(step)
+            except BaseException as exc:  # noqa: BLE001 - reraised in run()
+                self._errors[name] = exc
+            finally:
+                self._finished.add(name)
+                self._ack.release()
+
+        thread = threading.Thread(target=run, name=name, daemon=True)
+        self._threads[name] = thread
+        thread.start()
+
+    def run(self) -> int:
+        """Drive all workers to completion; returns steps granted.
+
+        Re-raises the first worker exception; raises
+        :class:`DeadlockDetected` when a granted worker never reaches
+        its next checkpoint (or completion) within the step timeout.
+        """
+        live = sorted(self._permits)
+        while live:
+            name = self.rng.choice(live)
+            self._permits[name].release()
+            self.steps_granted += 1
+            if not self._ack.acquire(timeout=self.step_timeout):
+                raise DeadlockDetected(
+                    f"worker {name!r} was granted a step but never "
+                    "reached its next checkpoint: likely deadlock "
+                    f"after {self.steps_granted} steps")
+            live = sorted(n for n in self._permits
+                          if n not in self._finished)
+        for name, thread in self._threads.items():
+            thread.join(timeout=self.step_timeout)
+            if thread.is_alive():
+                raise DeadlockDetected(
+                    f"worker {name!r} finished stepping but its "
+                    "thread did not exit")
+        for name in sorted(self._errors):
+            raise self._errors[name]
+        return self.steps_granted

@@ -1,5 +1,6 @@
 """Tests for the span-attributed sampling profiler."""
 
+import sys
 import threading
 import time
 
@@ -284,6 +285,82 @@ class TestProfiledHelper:
         telemetry = Telemetry(enabled=True)
         with profiled(telemetry.tracer, True) as profiler:
             assert isinstance(profiler, SpanProfiler)
+
+
+class TestLifecycle:
+    """``attach`` must undo every setup step no matter how it exits:
+    the lowered GIL switch interval and the process-wide registry
+    attach counter are global residue that would tax every later
+    query."""
+
+    def test_body_exception_restores_interval_and_registry(self):
+        telemetry = Telemetry(enabled=True)
+        profiler = SpanProfiler(ProfileOptions(hz=500.0))
+        interval = sys.getswitchinterval()
+        with pytest.raises(RuntimeError, match="boom"):
+            with profiler.attach(telemetry.tracer):
+                assert sys.getswitchinterval() < interval
+                raise RuntimeError("boom")
+        assert sys.getswitchinterval() == interval
+        assert tracer_module._PROFILING == 0
+        assert tracer_module.active_span_paths() == {}
+        assert profiler._thread is None
+
+    def test_thread_start_failure_cleans_up(self, monkeypatch):
+        profiler = SpanProfiler(ProfileOptions(hz=500.0))
+        interval = sys.getswitchinterval()
+
+        def refuse(self):
+            raise RuntimeError("can't start new thread")
+
+        monkeypatch.setattr(threading.Thread, "start", refuse)
+        with pytest.raises(RuntimeError,
+                           match="can't start new thread"):
+            with profiler.attach():
+                pass
+        assert sys.getswitchinterval() == interval
+        assert tracer_module._PROFILING == 0
+        assert profiler._thread is None
+
+    def test_detach_survives_sampler_dying_mid_run(self, monkeypatch):
+        profiler = SpanProfiler(ProfileOptions(hz=500.0))
+        interval = sys.getswitchinterval()
+
+        def die() -> None:
+            return  # sampler exits instantly, as if it crashed
+
+        monkeypatch.setattr(profiler, "_sample_loop", die)
+        with profiler.attach():
+            # give the doomed sampler time to crash before detach
+            deadline = time.perf_counter() + 5.0
+            while profiler._thread.is_alive() \
+                    and time.perf_counter() < deadline:
+                time.sleep(0.005)
+            assert not profiler._thread.is_alive()
+        assert sys.getswitchinterval() == interval
+        assert tracer_module._PROFILING == 0
+        assert profiler._thread is None
+
+    def test_alloc_hooks_detached_on_body_exception(self):
+        telemetry = Telemetry(enabled=True)
+        tracer = telemetry.tracer
+        prev_start, prev_end = tracer.on_start, tracer.on_end
+        import tracemalloc
+        was_tracing = tracemalloc.is_tracing()
+        profiler = SpanProfiler(
+            ProfileOptions(hz=500.0, trace_allocations=True))
+        with pytest.raises(RuntimeError):
+            with profiler.attach(tracer):
+                raise RuntimeError("boom")
+        assert tracer.on_start is prev_start
+        assert tracer.on_end is prev_end
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_sampler_thread_is_daemon(self):
+        profiler = SpanProfiler(ProfileOptions(hz=500.0))
+        with profiler.attach():
+            assert profiler._thread is not None
+            assert profiler._thread.daemon
 
 
 class TestRenderText:
