@@ -72,12 +72,18 @@ def record_point(query: str, wall_s: float | None = None,
                  items: int = 0,
                  path: str | Path | None = None,
                  ts: str | None = None,
-                 wall_ns: int | None = None) -> dict:
+                 wall_ns: int | None = None,
+                 rolling: dict | None = None) -> dict:
     """Append one per-query measurement; returns the stored point.
 
     Time can be given as ``wall_ns`` (preferred — integer nanoseconds
     on the monotonic clock, directly comparable to span timings) or as
     legacy ``wall_s`` float seconds; the point stores both.
+    ``rolling`` optionally attaches the serving plane's rolling-window
+    view of the query's class at measurement time (``{"class": ...,
+    "qps": ..., "p95_ms": ...}`` — see :func:`repro.service.slo
+    .slo_report`), tying a trajectory point to the windowed telemetry
+    the process was reporting when the point was taken.
     """
     path = TRAJECTORY_PATH if path is None else Path(path)
     if wall_ns is None:
@@ -97,6 +103,8 @@ def record_point(query: str, wall_s: float | None = None,
         "decompressions": decompressions,
         "items": items,
     }
+    if rolling is not None:
+        point["rolling"] = rolling
     points = load_trajectory(path) + [point]
     atomic_write_text(path, json.dumps(
         {"points": points}, indent=2, sort_keys=True) + "\n")
@@ -175,12 +183,21 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                  if q.strip()]
     for run in range(max(args.repeat, 1)):
         for query_id in query_ids:
+            text = query_text(query_id)
             with Stopwatch() as watch:
-                result = session.execute(query_text(query_id))
+                result = session.execute(text)
                 items = len(result.items)
             from repro.obs.workload import WorkloadRecord
             [line] = journal.records()[-1:]
             record = WorkloadRecord.from_dict(line)
+            query_class = session.prepare(text).plan.query_class
+            window = session.slo_report()["rolling"] \
+                .get(query_class)
+            rolling = None if window is None else {
+                "class": query_class,
+                "qps": window["qps"],
+                "p95_ms": window["p95_ms"],
+            }
             # Journalled wall time excludes result materialization;
             # the smoke point records the end-to-end time instead.
             record_point(
@@ -189,7 +206,7 @@ def main(argv: list[str] | None = None, out=sys.stdout) -> int:
                 decompressions=record.counters.get(
                     "decompressions", 0),
                 experiment="trajectory_smoke", items=items,
-                path=args.trajectory)
+                path=args.trajectory, rolling=rolling)
             ratio = record.compressed_ratio
             print(f"{query_id}: {items} items, "
                   f"{watch.seconds:.3f} s, compressed_ratio="

@@ -10,6 +10,9 @@ Commands mirror how the paper's system is used:
   profiler: per-span CPU shares + folded-stack flamegraph export;
 * ``perf``       — serving SLO report (per-query-class latency
   quantiles, cache hit rates) over a batch of queries;
+* ``top``        — live serving console: QPS, rolling latency
+  percentiles, cache hit rates, latest slow queries — over an
+  in-process repository or a scraped ``/metrics`` endpoint;
 * ``bench``      — benchmark trajectory tools; ``bench compare`` is
   the noise-aware perf-regression gate CI runs;
 * ``stats``      — storage occupancy breakdown of a repository;
@@ -151,6 +154,31 @@ def build_parser() -> argparse.ArgumentParser:
     perf_report.add_argument("--json", action="store_true",
                              help="emit the report as JSON")
 
+    top = commands.add_parser(
+        "top",
+        help="live serving console: QPS, rolling latency "
+             "percentiles, cache hit rates, latest slow queries")
+    top.add_argument("target",
+                     help="a repository path (drive it in-process "
+                          "with --query/--queries-file) or the "
+                          "http://host:port of a running process's "
+                          "telemetry endpoint (scrape mode)")
+    top.add_argument("--query", action="append", default=None,
+                     help="a query to drive each tick in local mode "
+                          "(repeatable)")
+    top.add_argument("--queries-file", type=Path, default=None,
+                     help="file with one query per line (local mode)")
+    top.add_argument("--workers", type=int, default=4,
+                     help="execute_many thread-pool width in local "
+                          "mode (default 4)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render one snapshot and exit (scriptable)")
+    top.add_argument("--slow-ms", type=float, default=None,
+                     help="local mode: slow-query threshold in ms "
+                          "(default 100)")
+
     bench = commands.add_parser(
         "bench", help="benchmark trajectory tools")
     bench_commands = bench.add_subparsers(dest="bench_command",
@@ -253,6 +281,7 @@ def main(argv: list[str] | None = None,
         "query": _cmd_query,
         "profile": _cmd_profile,
         "perf": _cmd_perf,
+        "top": _cmd_top,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
@@ -423,6 +452,26 @@ def _cmd_perf(args, out) -> int:
         print(render_slo_report(report), file=out)
     return 1 if any(not check["ok"]
                     for check in report["objectives"]) else 0
+
+
+def _cmd_top(args, out) -> int:
+    from repro.service.top import build_source, run_top
+
+    queries = list(args.query or [])
+    if args.queries_file is not None:
+        queries.extend(
+            line.strip() for line in
+            args.queries_file.read_text(encoding="utf-8").splitlines()
+            if line.strip())
+    try:
+        source = build_source(args.target, queries=queries,
+                              workers=args.workers,
+                              slow_threshold_ms=args.slow_ms)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    return run_top(source, out, interval=args.interval,
+                   once=args.once)
 
 
 def _cmd_bench(args, out) -> int:

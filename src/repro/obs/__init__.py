@@ -9,9 +9,14 @@ compressed domain, decompression is deferred to serialization — is
   (``perf_counter_ns``) naming the paper's physical operators
   (Figure 4 access paths); a disabled tracer hands out one shared
   no-op span, so the hot path pays ~nothing;
-* :class:`~repro.obs.metrics.MetricsRegistry` — named counters and
-  p50/p95/max histograms; :class:`repro.query.context.EvaluationStats`
-  is now a thin view over one of these;
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters,
+  gauges, bounded p50/p95/max histograms and fixed-memory **rolling
+  windows** (:class:`~repro.obs.metrics.WindowedHistogram`);
+  :class:`repro.query.context.EvaluationStats` is now a thin view
+  over one of these;
+* :mod:`~repro.obs.export` — the registry rendered as (and parsed
+  back from) Prometheus text exposition, the serving telemetry
+  plane's scrape format;
 * :class:`~repro.obs.telemetry.Telemetry` — one tracer + one registry
   per query run, JSON-exportable (``to_json``) for benchmark reports
   and the ``repro trace`` CLI;
@@ -30,6 +35,11 @@ compressed domain, decompression is deferred to serialization — is
   handle through every signature.
 """
 
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.obs.journal import WorkloadJournal, default_journal_path
 from repro.obs.lockwatch import (
     LockOrderViolation,
@@ -37,7 +47,13 @@ from repro.obs.lockwatch import (
     WatchedLock,
     watch_session,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WindowedHistogram,
+)
 from repro.obs.profiler import (
     ProfileOptions,
     SpanProfile,
@@ -53,7 +69,9 @@ from repro.obs.workload import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
+    "PROMETHEUS_CONTENT_TYPE",
     "LockOrderViolation",
     "LockOrderWatchdog",
     "MetricsRegistry",
@@ -64,10 +82,13 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "WatchedLock",
+    "WindowedHistogram",
     "WorkloadCapture",
     "WorkloadJournal",
     "WorkloadRecord",
     "WorkloadRecorder",
     "default_journal_path",
+    "parse_prometheus",
+    "render_prometheus",
     "watch_session",
 ]

@@ -1,0 +1,194 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+The serving telemetry plane's export surface: every counter, gauge,
+histogram and windowed histogram in a registry rendered in the
+Prometheus text exposition format (version 0.0.4), served by
+:class:`repro.service.telemetry_http.TelemetryServer` at ``/metrics``
+and scraped back by ``repro top``.
+
+The repo's metric names are dotted (``cache.plan.hit``,
+``slo.latency_ns.point``); rather than mangling each into a bespoke
+Prometheus name, the renderer exposes a small set of *generic metric
+families* carrying the original name as a label:
+
+* ``repro_counter{name="cache.plan.hit"} 12``
+* ``repro_gauge{name="slowlog.threshold_ms"} 100.0``
+* ``repro_histogram_count/_sum/_max{name="span.Execute"} ...``
+  (lifetime histograms)
+* ``repro_window_count/_sum/_max/_rate_per_s{name=...}`` and
+  ``repro_window{name=...,quantile="p50|p95|p99"}``
+  (rolling windows — the operational latency view)
+
+This keeps the mapping lossless and mechanical in both directions:
+:func:`parse_prometheus` reconstructs
+``{counters, gauges, histograms, windows}`` dictionaries from the
+text, so a scraper sees exactly what an in-process reader sees.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+#: the content type ``/metrics`` responses declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: window quantile labels, in rendering order.
+WINDOW_QUANTILES = ("p50", "p95", "p99")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+def _fmt(value: float) -> str:
+    """A float rendered without noise (integers stay integral)."""
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(metrics: MetricsRegistry,
+                      extra_gauges: dict[str, float] | None = None
+                      ) -> str:
+    """The registry as Prometheus text exposition (version 0.0.4).
+
+    ``extra_gauges`` lets the HTTP layer add derived values (uptime,
+    cache hit ratios) without writing them into the registry first.
+    """
+    lines: list[str] = []
+
+    counters = metrics.counters()
+    lines.append("# TYPE repro_counter counter")
+    for name, value in counters.items():
+        lines.append(f'repro_counter{{name="{_escape_label(name)}"}} '
+                     f"{_fmt(value)}")
+
+    gauges = dict(metrics.gauges())
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    lines.append("# TYPE repro_gauge gauge")
+    for name in sorted(gauges):
+        lines.append(f'repro_gauge{{name="{_escape_label(name)}"}} '
+                     f"{_fmt(gauges[name])}")
+
+    histograms = metrics.histograms()
+    for family in ("count", "sum", "max"):
+        lines.append(f"# TYPE repro_histogram_{family} gauge")
+        key = {"count": "count", "sum": "total", "max": "max"}[family]
+        for name, summary in histograms.items():
+            lines.append(
+                f'repro_histogram_{family}'
+                f'{{name="{_escape_label(name)}"}} '
+                f"{_fmt(summary[key])}")
+
+    windows = metrics.windows()
+    for family in ("count", "sum", "max", "rate_per_s"):
+        lines.append(f"# TYPE repro_window_{family} gauge")
+        key = {"count": "count", "sum": "total", "max": "max",
+               "rate_per_s": "rate_per_s"}[family]
+        for name, summary in windows.items():
+            lines.append(
+                f'repro_window_{family}'
+                f'{{name="{_escape_label(name)}"}} '
+                f"{_fmt(summary[key])}")
+    lines.append("# TYPE repro_window summary")
+    for name, summary in windows.items():
+        for quantile in WINDOW_QUANTILES:
+            value = summary[quantile]
+            if value is None:
+                continue
+            lines.append(
+                f'repro_window{{name="{_escape_label(name)}",'
+                f'quantile="{quantile}"}} {_fmt(value)}')
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.find("=", i)
+        if eq < 0:
+            break
+        key = text[i:eq].strip().lstrip(",").strip()
+        # value is a quoted string; find its unescaped closing quote.
+        j = eq + 2
+        while j < len(text):
+            if text[j] == "\\":
+                j += 2
+                continue
+            if text[j] == '"':
+                break
+            j += 1
+        labels[key] = _unescape_label(text[eq + 2:j])
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict:
+    """Reconstruct registry-shaped dictionaries from exposition text.
+
+    Returns ``{"counters": {name: value}, "gauges": {...},
+    "histograms": {name: {count,total,max}}, "windows": {name:
+    {count,total,max,rate_per_s,p50,p95,p99}}}``.  Lines from foreign
+    metric families are ignored, so the parser survives a ``/metrics``
+    page that grows new families.
+    """
+    out: dict = {"counters": {}, "gauges": {},
+                 "histograms": {}, "windows": {}}
+    window_keys = {"count": "count", "sum": "total", "max": "max",
+                   "rate_per_s": "rate_per_s"}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        brace = line.find("{")
+        close = line.rfind("}")
+        if brace < 0 or close < brace:
+            continue
+        family = line[:brace]
+        labels = _parse_labels(line[brace + 1:close])
+        name = labels.get("name")
+        if name is None:
+            continue
+        try:
+            value = float(line[close + 1:].strip())
+        except ValueError:
+            continue
+        if family == "repro_counter":
+            out["counters"][name] = int(value)
+        elif family == "repro_gauge":
+            out["gauges"][name] = value
+        elif family.startswith("repro_histogram_"):
+            key = family[len("repro_histogram_"):]
+            mapped = window_keys.get(key)
+            if mapped:
+                out["histograms"].setdefault(name, {})[mapped] = value
+        elif family == "repro_window":
+            quantile = labels.get("quantile")
+            if quantile in WINDOW_QUANTILES:
+                out["windows"].setdefault(name, {})[quantile] = value
+        elif family.startswith("repro_window_"):
+            key = family[len("repro_window_"):]
+            mapped = window_keys.get(key)
+            if mapped:
+                out["windows"].setdefault(name, {})[mapped] = value
+    return out

@@ -1,6 +1,7 @@
 """The serving layer: ``Database``/``Session`` over a resident
-compressed repository, with a prepared-plan LRU and a byte-budgeted
-decoded-block cache behind one unified execution API."""
+compressed repository, with a prepared-plan LRU, a byte-budgeted
+decoded-block cache, and a telemetry plane (``/metrics`` endpoint,
+slow-query log, ``repro top``) behind one unified execution API."""
 
 from repro.query.options import ExecutionOptions
 from repro.service.blocks import (
@@ -26,6 +27,8 @@ from repro.service.slo import (
     render_slo_report,
     slo_report,
 )
+from repro.service.slowlog import SlowQueryLog, default_slowlog_path
+from repro.service.telemetry_http import TelemetryServer
 
 __all__ = [
     "BlockCache",
@@ -44,4 +47,7 @@ __all__ = [
     "render_slo_report",
     "Session",
     "slo_report",
+    "SlowQueryLog",
+    "TelemetryServer",
+    "default_slowlog_path",
 ]

@@ -52,6 +52,10 @@ from repro.service.slo import (
     observe_latency,
     slo_report,
 )
+from repro.service.slowlog import (
+    SlowQueryLog,
+    snapshot_cache_counters,
+)
 from repro.storage.repository import CompressedRepository
 from repro.util.clock import elapsed_ns, now_ns
 
@@ -149,6 +153,7 @@ class Session:
                  metrics: MetricsRegistry | None = None,
                  journal=None,
                  recorder: WorkloadRecorder | None = None,
+                 slow_log: SlowQueryLog | None = None,
                  verify_plans: bool = True,
                  telemetry_enabled: bool = False):
         self.repository = repository
@@ -165,6 +170,9 @@ class Session:
         if recorder is None and journal is not None:
             recorder = WorkloadRecorder(journal)
         self.recorder = recorder
+        #: over-threshold executions append here (usually the owning
+        #: Database's shared log); None disables slow-query logging.
+        self.slow_log = slow_log
         self._view = CachedRepositoryView(repository, self.block_cache)
         self.engine = QueryEngine(
             self._view, collection=self.collection or None,
@@ -223,8 +231,13 @@ class Session:
                 **legacy) -> QueryResult:
         """The unified entry point: prepare (cached) + run."""
         options = coerce_options(options, legacy, "Session.execute")
+        # Snapshot cache counters before prepare(), not inside _run:
+        # the plan-cache hit/miss of *this* query lands in prepare,
+        # and the slow-query record's deltas should cover it.
+        cache_before = snapshot_cache_counters(self.metrics) \
+            if self.slow_log is not None else None
         prepared = self.prepare(query, use_cache=options.use_plan_cache)
-        return self._run(prepared, options)
+        return self._run(prepared, options, cache_before=cache_before)
 
     def execute_many(self, queries: Sequence[str | Expression],
                      max_workers: int = 4,
@@ -253,11 +266,26 @@ class Session:
                 lambda query: self.execute(query, options), queries))
 
     def _run(self, prepared: PreparedQuery,
-             options: ExecutionOptions) -> QueryResult:
+             options: ExecutionOptions,
+             cache_before: dict | None = None) -> QueryResult:
         engine = self._engine_for(options)
         record = options.record
         if record is None:
             record = self.recorder is not None and self.recorder.enabled
+        # Slow-query exemplar sampling: every Nth execution runs with
+        # a fresh per-run telemetry so an over-threshold run has a
+        # span breakdown to attach.  Caller-provided telemetry serves
+        # the same purpose for free; profiled runs already carry one.
+        slow_log = self.slow_log
+        exemplar_source = options.telemetry
+        if slow_log is not None:
+            if cache_before is None:
+                cache_before = snapshot_cache_counters(self.metrics)
+            if exemplar_source is None and not options.profile:
+                sampled = slow_log.maybe_sample()
+                if sampled is not None:
+                    options = replace(options, telemetry=sampled)
+                    exemplar_source = sampled
         telemetry_on = (options.telemetry.enabled
                         if options.telemetry is not None
                         else options.telemetry_enabled
@@ -265,21 +293,35 @@ class Session:
                         or bool(options.profile))
         self.metrics.add("session.executions")
         start_ns = now_ns()
+        failed = True
         try:
             if telemetry_on or record:
                 with self._activation_lock:
-                    return engine.execute(
+                    result = engine.execute(
                         prepared.ast, options,
                         diagnostics=prepared.diagnostics,
                         label=prepared.plan.text)
-            return engine.execute(prepared.ast, options,
-                                  diagnostics=prepared.diagnostics,
-                                  label=prepared.plan.text)
+            else:
+                result = engine.execute(
+                    prepared.ast, options,
+                    diagnostics=prepared.diagnostics,
+                    label=prepared.plan.text)
+            failed = False
+            return result
         finally:
             # Per-class serving latency, failed runs included — a
             # query that errors out still occupied the session.
+            wall_ns = elapsed_ns(start_ns)
             observe_latency(self.metrics, prepared.plan.query_class,
-                            elapsed_ns(start_ns))
+                            wall_ns)
+            if slow_log is not None:
+                slow_log.maybe_record(
+                    query=prepared.plan.text, ast=prepared.ast,
+                    query_class=prepared.plan.query_class,
+                    wall_ns=wall_ns, telemetry=exemplar_source,
+                    cache_before=cache_before,
+                    cache_after=snapshot_cache_counters(self.metrics),
+                    error=failed)
 
     def slo_report(self, objectives=None) -> dict:
         """Per-query-class latency quantiles + cache hit-rate gauges.
@@ -369,8 +411,14 @@ class Database:
     """A resident compressed database: repository + shared caches.
 
     The factory for sessions — every :meth:`session` shares the
-    database's plan cache, block cache and metrics registry, so a pool
-    of serving sessions over one document warms one set of caches.
+    database's plan cache, block cache, metrics registry and (when
+    configured) slow-query log, so a pool of serving sessions over one
+    document warms one set of caches and feeds one telemetry plane.
+
+    :meth:`serve_telemetry` starts the embedded HTTP exporter
+    (``/metrics``, ``/health``, ``/ready``, ``/slowlog``) over that
+    shared registry — the operational window into a resident serving
+    process.
     """
 
     def __init__(self, repository: CompressedRepository,
@@ -378,7 +426,8 @@ class Database:
                  | None = None, *,
                  plan_capacity: int = DEFAULT_PLAN_CAPACITY,
                  block_budget: int = DEFAULT_BLOCK_BUDGET,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 slow_log: SlowQueryLog | None = None):
         self.repository = repository
         self.collection = dict(collection) if collection else {}
         self.metrics = metrics if metrics is not None \
@@ -387,6 +436,16 @@ class Database:
                                     metrics=self.metrics)
         self.block_cache = BlockCache(block_budget,
                                       metrics=self.metrics)
+        self.slow_log = slow_log
+        if slow_log is not None and slow_log.metrics is None:
+            slow_log.metrics = self.metrics
+            self.metrics.set_gauge("slowlog.threshold_ms",
+                                   slow_log.threshold_ms)
+            self.metrics.set_gauge("slowlog.exemplar_rate",
+                                   slow_log.exemplar_rate)
+        #: the running telemetry exporter, while one is attached.
+        self._telemetry_server = None
+        self._started_ns = now_ns()
 
     @classmethod
     def open(cls, path: str | Path, **kwargs) -> "Database":
@@ -407,8 +466,60 @@ class Database:
         kwargs.setdefault("plan_cache", self.plan_cache)
         kwargs.setdefault("block_cache", self.block_cache)
         kwargs.setdefault("metrics", self.metrics)
+        kwargs.setdefault("slow_log", self.slow_log)
         return Session(self.repository,
                        self.collection or None, **kwargs)
+
+    # -- telemetry plane -----------------------------------------------------
+
+    def uptime_ns(self) -> int:
+        """Nanoseconds since this database was constructed."""
+        return elapsed_ns(self._started_ns)
+
+    def ready(self) -> bool:
+        """Readiness: repository loaded and caches warm-capable.
+
+        The telemetry endpoint's ``/ready`` answer — ``True`` once the
+        structure tree is resident and both caches can accept entries.
+        (``/health`` is liveness and always answers while the exporter
+        thread runs.)
+        """
+        try:
+            return (self.repository is not None
+                    and len(self.repository.structure) > 0
+                    and self.plan_cache.capacity >= 1
+                    and self.block_cache.budget_bytes >= 1)
+        except Exception:  # noqa: BLE001 - readiness must not raise
+            return False
+
+    def serve_telemetry(self, port: int = 0,
+                        host: str = "127.0.0.1"):
+        """Start the embedded telemetry endpoint; returns the server.
+
+        ``port=0`` binds an ephemeral port (``server.port`` has the
+        real one).  The returned
+        :class:`~repro.service.telemetry_http.TelemetryServer` is a
+        context manager; ``with db.serve_telemetry(9464):`` scrapes
+        cleanly and shuts the exporter thread down on exit.  Also
+        stopped by :meth:`stop_telemetry`.
+        """
+        from repro.service.telemetry_http import TelemetryServer
+        if self._telemetry_server is not None \
+                and not self._telemetry_server.closed:
+            raise RuntimeError(
+                "telemetry endpoint already serving on port "
+                f"{self._telemetry_server.port}; stop it first")
+        server = TelemetryServer(self, host=host, port=port)
+        server.start()
+        self._telemetry_server = server
+        return server
+
+    def stop_telemetry(self) -> None:
+        """Stop the telemetry endpoint, if one is serving."""
+        server = self._telemetry_server
+        if server is not None:
+            self._telemetry_server = None
+            server.close()
 
     def __repr__(self) -> str:
         return f"<Database {self.repository!r}>"

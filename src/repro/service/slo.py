@@ -40,6 +40,13 @@ LATENCY_PREFIX = "slo.latency_ns."
 #: the percentiles the report quotes, in rendering order.
 PERCENTILES = (50.0, 95.0, 99.0)
 
+#: every class :func:`classify_query` can produce.
+QUERY_CLASSES = ("point", "scan", "join", "path", "construct",
+                 "other")
+
+#: nanoseconds per millisecond, for reporting conversions.
+_NS_PER_MS = NS_PER_S / 1000.0
+
 
 def classify_query(expression) -> str:
     """The query class a prepared plan's latency is filed under."""
@@ -83,8 +90,17 @@ def _predicate_operators(expression) -> set[str]:
 
 def observe_latency(metrics: MetricsRegistry, query_class: str,
                     wall_ns: int) -> None:
-    """File one serving latency under its query class."""
-    metrics.observe(LATENCY_PREFIX + query_class, wall_ns)
+    """File one serving latency under its query class.
+
+    Each latency lands twice: in the lifetime histogram (exact counts
+    for objectives and totals) and in the class's **rolling window**
+    (:class:`~repro.obs.metrics.WindowedHistogram`), so a long-running
+    process reports recent p50/p95/p99 and QPS, not lifetime
+    aggregates.
+    """
+    name = LATENCY_PREFIX + query_class
+    metrics.observe(name, wall_ns)
+    metrics.observe_window(name, wall_ns)
     metrics.add(f"slo.served.{query_class}")
 
 
@@ -98,15 +114,48 @@ class LatencyObjective:
 
     @classmethod
     def parse(cls, spec: str) -> "LatencyObjective":
-        """Parse ``CLASS:pNN:MILLIS`` (e.g. ``point:p95:5``)."""
+        """Parse and validate ``CLASS:pNN:MILLIS`` (``point:p95:5``).
+
+        A malformed spec constructs an objective that can never be
+        meaningfully checked — a ``p0`` or ``p101`` percentile, a
+        zero/negative millisecond bound, a class no query is ever
+        filed under — so each part is validated here with an error
+        naming what is wrong, instead of silently reporting the
+        objective as unmet forever.
+        """
         parts = spec.split(":")
         if len(parts) != 3 or not parts[1].lower().startswith("p"):
             raise ValueError(
                 f"SLO spec {spec!r} is not CLASS:pNN:MILLIS "
                 "(e.g. point:p95:5)")
-        return cls(query_class=parts[0],
-                   percentile=float(parts[1][1:]),
-                   target_ms=float(parts[2]))
+        query_class, percentile_text, target_text = parts
+        if query_class not in QUERY_CLASSES:
+            raise ValueError(
+                f"SLO spec {spec!r}: unknown query class "
+                f"{query_class!r} (expected one of "
+                f"{', '.join(QUERY_CLASSES)})")
+        try:
+            percentile = float(percentile_text[1:])
+        except ValueError:
+            raise ValueError(
+                f"SLO spec {spec!r}: {percentile_text!r} is not a "
+                "percentile (e.g. p95)") from None
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(
+                f"SLO spec {spec!r}: percentile "
+                f"p{percentile:g} outside (0, 100]")
+        try:
+            target_ms = float(target_text)
+        except ValueError:
+            raise ValueError(
+                f"SLO spec {spec!r}: {target_text!r} is not a "
+                "millisecond bound") from None
+        if target_ms <= 0.0:
+            raise ValueError(
+                f"SLO spec {spec!r}: millisecond bound must be "
+                f"positive, got {target_ms:g}")
+        return cls(query_class=query_class, percentile=percentile,
+                   target_ms=target_ms)
 
 
 def _cache_gauges(counters: dict[str, int]) -> dict[str, dict]:
@@ -144,10 +193,26 @@ def slo_report(metrics: MetricsRegistry,
         row = {"count": hist["count"]}
         for p in PERCENTILES:
             row[f"p{p:g}_ms"] = (
-                histogram.percentile(p) / (NS_PER_S / 1000.0)
+                histogram.percentile(p) / _NS_PER_MS
                 if hist["count"] else None)
-        row["max_ms"] = hist["max"] / (NS_PER_S / 1000.0)
+        row["max_ms"] = hist["max"] / _NS_PER_MS
         classes[query_class] = row
+    rolling: dict[str, dict] = {}
+    total_qps = 0.0
+    for name, summary in metrics.windows().items():
+        if not name.startswith(LATENCY_PREFIX):
+            continue
+        query_class = name[len(LATENCY_PREFIX):]
+        row = {"count": summary["count"],
+               "qps": summary["rate_per_s"],
+               "window_s": summary["window_s"]}
+        for p in PERCENTILES:
+            value = summary[f"p{p:g}"]
+            row[f"p{p:g}_ms"] = (value / _NS_PER_MS
+                                 if value is not None else None)
+        row["max_ms"] = summary["max"] / _NS_PER_MS
+        rolling[query_class] = row
+        total_qps += summary["rate_per_s"]
     checks = []
     for objective in objectives or []:
         row = classes.get(objective.query_class)
@@ -157,7 +222,7 @@ def slo_report(metrics: MetricsRegistry,
             histogram = metrics.histogram(
                 LATENCY_PREFIX + objective.query_class)
             actual = histogram.percentile(objective.percentile) \
-                / (NS_PER_S / 1000.0)
+                / _NS_PER_MS
         checks.append({
             "class": objective.query_class,
             "percentile": objective.percentile,
@@ -168,6 +233,8 @@ def slo_report(metrics: MetricsRegistry,
         })
     return {
         "classes": dict(sorted(classes.items())),
+        "rolling": dict(sorted(rolling.items())),
+        "qps": total_qps,
         "caches": _cache_gauges(metrics.counters()),
         "objectives": checks,
     }
@@ -185,6 +252,32 @@ def render_slo_report(report: dict) -> str:
         rows = []
         for name, row in classes.items():
             cells = [name, str(row["count"])]
+            for p in PERCENTILES:
+                value = row[f"p{p:g}_ms"]
+                cells.append("n/a" if value is None
+                             else f"{value:.3f}")
+            cells.append(f"{row['max_ms']:.3f}")
+            rows.append(cells)
+        widths = [len(h) for h in headers]
+        for cells in rows:
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        out.append("  ".join(h.ljust(w)
+                             for h, w in zip(headers, widths)))
+        for cells in rows:
+            out.append("  ".join(c.ljust(w)
+                                 for c, w in zip(cells, widths)))
+    rolling = report.get("rolling", {})
+    if rolling:
+        window_s = next(iter(rolling.values()))["window_s"]
+        out.append("")
+        out.append(f"-- rolling window (last {window_s:g} s) — "
+                   f"QPS {report.get('qps', 0.0):.2f} --")
+        headers = ["class", "count", "qps"] + \
+            [f"p{p:g}_ms" for p in PERCENTILES] + ["max_ms"]
+        rows = []
+        for name, row in rolling.items():
+            cells = [name, str(row["count"]), f"{row['qps']:.2f}"]
             for p in PERCENTILES:
                 value = row[f"p{p:g}_ms"]
                 cells.append("n/a" if value is None

@@ -1,0 +1,82 @@
+"""Prometheus exposition: render/parse round trip."""
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.add("cache.plan.hit", 7)
+    registry.add("cache.plan.miss", 3)
+    registry.set_gauge("slowlog.threshold_ms", 100.0)
+    for value in (1.0, 2.0, 3.0):
+        registry.observe("span.Execute", value)
+    for value in (10.0, 20.0, 30.0, 40.0):
+        registry.observe_window("slo.latency_ns.point", value)
+    return registry
+
+
+class TestRender:
+    def test_families_and_values(self):
+        text = render_prometheus(populated_registry())
+        assert '# TYPE repro_counter counter' in text
+        assert 'repro_counter{name="cache.plan.hit"} 7' in text
+        assert 'repro_gauge{name="slowlog.threshold_ms"} 100' in text
+        assert 'repro_histogram_count{name="span.Execute"} 3' in text
+        assert 'repro_window_count{name="slo.latency_ns.point"} 4' \
+            in text
+        assert 'quantile="p95"' in text
+        assert text.endswith("\n")
+
+    def test_extra_gauges_do_not_touch_the_registry(self):
+        registry = populated_registry()
+        text = render_prometheus(
+            registry, extra_gauges={"telemetry.uptime_s": 12.5})
+        assert 'repro_gauge{name="telemetry.uptime_s"} 12.5' in text
+        assert "telemetry.uptime_s" not in registry.gauges()
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.add('weird"name\\with\nstuff')
+        text = render_prometheus(registry)
+        parsed = parse_prometheus(text)
+        assert parsed["counters"]['weird"name\\with\nstuff'] == 1
+
+    def test_content_type_names_the_format_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestRoundTrip:
+    def test_scrape_sees_what_a_reader_sees(self):
+        registry = populated_registry()
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["counters"] == registry.counters()
+        assert parsed["gauges"] == registry.gauges()
+        hist = registry.histograms()["span.Execute"]
+        scraped = parsed["histograms"]["span.Execute"]
+        assert scraped["count"] == hist["count"]
+        assert scraped["total"] == hist["total"]
+        assert scraped["max"] == hist["max"]
+        window = registry.windows()["slo.latency_ns.point"]
+        scraped_window = parsed["windows"]["slo.latency_ns.point"]
+        assert scraped_window["count"] == window["count"]
+        assert scraped_window["p95"] == window["p95"]
+        assert scraped_window["rate_per_s"] == window["rate_per_s"]
+
+    def test_parser_skips_foreign_families(self):
+        text = ("# HELP something else\n"
+                "go_goroutines 42\n"
+                'other_family{name="x"} 1\n'
+                'repro_counter{name="kept"} 5\n')
+        parsed = parse_prometheus(text)
+        assert parsed["counters"] == {"kept": 5}
+
+    def test_empty_registry_round_trips(self):
+        parsed = parse_prometheus(
+            render_prometheus(MetricsRegistry()))
+        assert parsed == {"counters": {}, "gauges": {},
+                          "histograms": {}, "windows": {}}

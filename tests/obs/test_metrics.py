@@ -119,3 +119,188 @@ class TestGuards:
     def test_error_names_the_metric(self):
         with pytest.raises(ValueError, match="span.ContAccess"):
             Histogram("span.ContAccess").percentile(95)
+
+
+class TestBoundedHistogram:
+    def test_exact_aggregates_beyond_cap(self):
+        hist = Histogram("h", sample_cap=100)
+        for value in range(1, 1001):  # 1..1000, 10x the cap
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 1000
+        assert summary["total"] == sum(range(1, 1001))
+        assert summary["max"] == 1000
+        assert len(hist.values) == 100  # memory stays bounded
+
+    def test_reservoir_percentiles_are_plausible(self):
+        hist = Histogram("h", sample_cap=256)
+        for value in range(1, 10_001):
+            hist.observe(value)
+        # reservoir sampling keeps a uniform subsample: the median
+        # estimate lands in the middle half of the range.
+        assert 2500 <= hist.percentile(50) <= 7500
+
+    def test_exact_below_cap(self):
+        hist = Histogram("h", sample_cap=1000)
+        for value in range(1, 101):
+            hist.observe(value)
+        assert abs(hist.percentile(50) - 50) <= 1
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="sample cap"):
+            Histogram("h", sample_cap=0)
+
+    def test_absorb_preserves_exact_aggregates(self):
+        a, b = Histogram("a", sample_cap=8), Histogram("b",
+                                                       sample_cap=8)
+        for value in range(1, 101):
+            a.observe(value)
+        for value in range(1, 51):
+            b.observe(value)
+        a.absorb(*b.state())
+        assert a.summary()["count"] == 150
+        assert a.summary()["total"] == sum(range(1, 101)) \
+            + sum(range(1, 51))
+        assert len(a.values) <= 8
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        from repro.obs.metrics import Gauge
+        gauge = Gauge("bytes")
+        assert gauge.value == 0.0
+        gauge.set(10.5)
+        assert gauge.value == 10.5
+        gauge.add(-3.5)
+        assert gauge.value == 7.0
+
+    def test_registry_gauges(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("threshold_ms", 100.0)
+        assert registry.gauge("threshold_ms") \
+            is registry.gauge("threshold_ms")
+        assert registry.gauges() == {"threshold_ms": 100.0}
+
+
+class _FakeClock:
+    """A controllable monotonic clock for window tests."""
+
+    def __init__(self, start_ns=0):
+        self.ns = start_ns
+
+    def __call__(self):
+        return self.ns
+
+    def advance_s(self, seconds):
+        self.ns += int(seconds * 1_000_000_000)
+
+
+class TestWindowedHistogram:
+    def _window(self, **kwargs):
+        from repro.obs.metrics import WindowedHistogram
+        clock = _FakeClock(1_000_000_000)
+        kwargs.setdefault("window_s", 60.0)
+        kwargs.setdefault("buckets", 12)
+        return WindowedHistogram("w", clock=clock, **kwargs), clock
+
+    def test_empty_summary(self):
+        window, _ = self._window()
+        summary = window.summary()
+        assert summary["count"] == 0
+        assert summary["rate_per_s"] == 0.0
+        assert summary["p50"] is None
+
+    def test_observations_roll_out_of_the_window(self):
+        window, clock = self._window()
+        window.observe(100.0)
+        window.observe(200.0)
+        assert window.summary()["count"] == 2
+        clock.advance_s(30.0)
+        window.observe(300.0)
+        assert window.summary()["count"] == 3
+        clock.advance_s(45.0)  # first two are now > 60 s old
+        summary = window.summary()
+        assert summary["count"] == 1
+        assert summary["max"] == 300.0
+        clock.advance_s(120.0)  # everything expired
+        assert window.summary()["count"] == 0
+
+    def test_percentiles_over_live_buckets(self):
+        window, clock = self._window()
+        for value in range(1, 101):
+            window.observe(float(value))
+            clock.advance_s(0.25)  # spread across buckets, ~25 s
+        summary = window.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] is not None
+        assert 40 <= summary["p50"] <= 60
+        assert summary["p99"] >= summary["p95"] >= summary["p50"]
+
+    def test_rate_per_s(self):
+        window, clock = self._window()
+        for _ in range(120):
+            window.observe(1.0)
+            clock.advance_s(0.5)  # 2 observations per second, 60 s
+        rate = window.summary()["rate_per_s"]
+        assert 1.5 <= rate <= 2.5
+
+    def test_bucket_memory_is_bounded(self):
+        window, clock = self._window(bucket_sample_cap=16)
+        for value in range(10_000):
+            window.observe(float(value))
+        assert window.summary()["count"] == 10_000
+        total_samples = sum(len(bucket.samples)
+                            for bucket in window._ring)
+        assert total_samples <= 12 * 16
+
+    def test_merge_aligns_epochs(self):
+        from repro.obs.metrics import WindowedHistogram
+        clock = _FakeClock(1_000_000_000)
+        a = WindowedHistogram("a", window_s=60.0, buckets=12,
+                              clock=clock)
+        b = WindowedHistogram("b", window_s=60.0, buckets=12,
+                              clock=clock)
+        a.observe(10.0)
+        b.observe(20.0)
+        clock.advance_s(10.0)
+        b.observe(30.0)
+        a.merge(b)
+        summary = a.summary()
+        assert summary["count"] == 3
+        assert summary["max"] == 30.0
+
+
+class TestRegistryWindows:
+    def test_observe_window_and_windows(self):
+        registry = MetricsRegistry()
+        registry.observe_window("lat", 5.0)
+        registry.observe_window("lat", 15.0)
+        summary = registry.windows()["lat"]
+        assert summary["count"] == 2
+        assert summary["max"] == 15.0
+
+    def test_to_dict_carries_all_four_kinds(self):
+        registry = MetricsRegistry()
+        registry.add("c")
+        registry.observe("h", 1.0)
+        registry.set_gauge("g", 2.0)
+        registry.observe_window("w", 3.0)
+        doc = json.loads(json.dumps(registry.to_dict()))
+        assert doc["counters"] == {"c": 1}
+        assert doc["gauges"] == {"g": 2.0}
+        assert "h" in doc["histograms"]
+        assert doc["windows"]["w"]["count"] == 1
+
+    def test_merge_folds_gauges_and_windows(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.add("hits", 1)
+        b.add("hits", 2)
+        b.set_gauge("g", 9.0)
+        b.observe_window("w", 4.0)
+        for value in range(1, 101):
+            b.observe("h", value)
+        a.merge(b)
+        assert a.counter("hits").value == 3
+        assert a.gauges()["g"] == 9.0
+        assert a.windows()["w"]["count"] == 1
+        assert a.histograms()["h"]["count"] == 100

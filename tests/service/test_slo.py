@@ -164,3 +164,65 @@ class TestRenderSloReport:
     def test_renders_empty(self):
         text = render_slo_report(slo_report(MetricsRegistry()))
         assert "no latencies recorded" in text
+
+
+class TestLatencyObjectiveValidation:
+    def test_rejects_unknown_class(self):
+        with pytest.raises(ValueError, match="unknown query class"):
+            LatencyObjective.parse("lookup:p95:5")
+
+    def test_error_lists_valid_classes(self):
+        with pytest.raises(ValueError, match="point.*scan.*join"):
+            LatencyObjective.parse("lookup:p95:5")
+
+    def test_rejects_p0_and_p101(self):
+        for bad in ("point:p0:5", "point:p101:5", "point:p-3:5"):
+            with pytest.raises(ValueError, match="percentile"):
+                LatencyObjective.parse(bad)
+
+    def test_accepts_p100_and_fractions(self):
+        assert LatencyObjective.parse("point:p100:5").percentile \
+            == 100.0
+        assert LatencyObjective.parse("point:p99.9:5").percentile \
+            == 99.9
+
+    def test_rejects_nonpositive_ms(self):
+        for bad in ("point:p95:0", "point:p95:-2"):
+            with pytest.raises(ValueError, match="positive"):
+                LatencyObjective.parse(bad)
+
+    def test_rejects_unparsable_parts(self):
+        with pytest.raises(ValueError, match="percentile"):
+            LatencyObjective.parse("point:pxx:5")
+        with pytest.raises(ValueError, match="millisecond"):
+            LatencyObjective.parse("point:p95:fast")
+
+    def test_errors_name_the_spec(self):
+        with pytest.raises(ValueError, match="lookup:p95:5"):
+            LatencyObjective.parse("lookup:p95:5")
+
+
+class TestRollingReport:
+    def test_report_carries_rolling_windows_and_qps(self, session):
+        session.execute("/library/book/title")
+        session.execute(
+            'for $b in /library/book where $b/title = "Dune" '
+            "return $b")
+        report = session.slo_report()
+        assert set(report["rolling"]) == {"path", "point"}
+        row = report["rolling"]["path"]
+        assert row["count"] == 1
+        assert row["qps"] > 0
+        assert row["p95_ms"] is not None
+        assert report["qps"] > 0
+
+    def test_render_includes_rolling_table(self, session):
+        session.execute("/library/book/title")
+        text = render_slo_report(session.slo_report())
+        assert "rolling window" in text
+        assert "QPS" in text
+
+    def test_empty_registry_has_no_rolling_rows(self):
+        report = slo_report(MetricsRegistry())
+        assert report["rolling"] == {}
+        assert report["qps"] == 0.0

@@ -1,0 +1,75 @@
+"""Windowed serving latencies under a concurrent execute_many batch.
+
+The satellite check for the telemetry plane's thread-safety claims:
+four workers hammering one session must leave the per-class rolling
+windows (a) filed under the *correct* class and (b) with **no lost
+increments** — window counts, lifetime histogram counts and the
+``slo.served.*`` counters must all agree with the number of queries
+actually served.
+"""
+
+from repro.service.session import Database
+from repro.service.slo import LATENCY_PREFIX
+
+DOC = """
+<library>
+  <book isbn="1"><title>Dune</title><price>9.99</price></book>
+  <book isbn="2"><title>Foundation</title><price>7.5</price></book>
+  <book isbn="3"><title>Hyperion</title><price>12.0</price></book>
+</library>
+"""
+
+POINT = 'for $b in /library/book where $b/title = "Dune" return $b'
+SCAN = "for $b in /library/book where $b/price > 8.0 return $b"
+PATH = "/library/book/title"
+
+
+class TestConcurrentWindows:
+    def test_no_lost_increments_across_four_workers(self):
+        database = Database.from_xml(DOC)
+        session = database.session()
+        rounds = 6
+        batch = [POINT, SCAN, PATH, POINT, SCAN, PATH, PATH, POINT]
+        for _ in range(rounds):
+            results = session.execute_many(batch, max_workers=4)
+            assert len(results) == len(batch)
+
+        expected = {
+            "point": rounds * batch.count(POINT),
+            "scan": rounds * batch.count(SCAN),
+            "path": rounds * batch.count(PATH),
+        }
+        windows = database.metrics.windows()
+        histograms = database.metrics.histograms()
+        counters = database.metrics.counters()
+        for query_class, count in expected.items():
+            name = LATENCY_PREFIX + query_class
+            assert windows[name]["count"] == count, query_class
+            assert histograms[name]["count"] == count, query_class
+            assert counters[f"slo.served.{query_class}"] == count
+        # nothing got misfiled into a class nobody ran
+        total = sum(expected.values())
+        assert counters["session.executions"] == total
+
+    def test_windows_feed_the_rolling_report(self):
+        database = Database.from_xml(DOC)
+        session = database.session()
+        session.execute_many([POINT, SCAN, PATH, PATH],
+                             max_workers=4)
+        report = session.slo_report()
+        assert set(report["rolling"]) == {"point", "scan", "path"}
+        assert report["rolling"]["path"]["count"] == 2
+        assert report["qps"] > 0
+        for row in report["rolling"].values():
+            assert row["p95_ms"] is not None
+            assert row["p95_ms"] >= 0
+
+    def test_window_percentiles_bound_the_lifetime_max(self):
+        database = Database.from_xml(DOC)
+        session = database.session()
+        session.execute_many([PATH] * 8, max_workers=4)
+        window = database.metrics.windows()[LATENCY_PREFIX + "path"]
+        hist = database.metrics.histograms()[LATENCY_PREFIX + "path"]
+        assert window["count"] == hist["count"] == 8
+        assert window["max"] == hist["max"]
+        assert window["p99"] <= window["max"]

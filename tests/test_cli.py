@@ -560,3 +560,39 @@ class TestBenchCompare:
                            "--trajectory", str(current))
         assert code == 1
         assert "regression" in output
+
+
+class TestTop:
+    def test_once_local_mode(self, repository_file):
+        code, output = run(
+            "top", str(repository_file), "--once", "--slow-ms", "0",
+            "--query", "/library/book/title",
+            "--query",
+            'for $b in /library/book where $b/title = "Dune" '
+            "return $b")
+        assert code == 0
+        assert "repro top" in output
+        assert "QPS" in output
+        assert "caches:" in output
+        assert "path" in output and "point" in output
+        assert "latest slow queries" in output
+
+    def test_local_mode_without_queries_errors(self, repository_file):
+        code, output = run("top", str(repository_file), "--once")
+        assert code == 1
+        assert "workload" in output
+
+    def test_once_scrape_mode(self, repository_file):
+        from repro.service.session import Database
+        from repro.service.slowlog import SlowQueryLog
+
+        database = Database.open(
+            repository_file,
+            slow_log=SlowQueryLog(threshold_ms=0.0))
+        database.session().execute("/library/book/title")
+        with database.serve_telemetry() as server:
+            code, output = run("top", server.url, "--once")
+        assert code == 0
+        assert f"scrape {server.url}" in output
+        assert "path" in output
+        assert "latest slow queries" in output
