@@ -1,0 +1,210 @@
+"""Batch-vs-row benchmark: the scan-heavy win behind DESIGN.md §13.
+
+Times the Q1/Q5-class scan-heavy access pipelines of the Figure 7
+workload through both operator protocols on the same machine and the
+same repository:
+
+* **row path** — the legacy record-pull iterators (``batch_size=1``
+  semantics: one dict + one ``CompressedItem`` per record);
+* **batch path** — ``batches()`` at the default width, where a scan is
+  an array slice and a compressed-domain predicate is one vectorized
+  interval mask.
+
+Each repeat appends trajectory points under two experiments:
+``fig7_batch`` (batch path — the numbers the perf gate's
+``--require-improvement`` watches) and ``fig7_batch_row`` (row path —
+same-machine context so a trajectory reader can recompute the speedup
+later).  Whole-query engine timings for the actual XMark Q1/Q5 at
+``batch_size=1`` vs the default ride along as ``fig7_batch_engine``.
+
+``--min-speedup`` (default 5.0) turns the run into a gate: every
+*gated* pipeline must beat the row path by at least that factor, else
+exit 1.  This is the acceptance criterion "Q1/Q5-class scan-heavy
+queries show >= 5x at the default batch size vs the row path on the
+same machine", measured the only honest way — both paths, one process,
+interleaved repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.compare import median
+from repro.bench.trajectory import TRAJECTORY_PATH, record_point
+from repro.util.clock import Stopwatch
+
+#: trajectory experiment labels.
+EXPERIMENT_BATCH = "fig7_batch"
+EXPERIMENT_ROW = "fig7_batch_row"
+EXPERIMENT_ENGINE = "fig7_batch_engine"
+
+#: pipelines whose speedup the --min-speedup gate enforces.
+GATED = ("q1_idscan", "q5_pricescan")
+
+ID_PATH = "/site/people/person/@id"
+PRICE_PATH = "/site/closed_auctions/closed_auction/price/#text"
+NAME_PATH = "/site/people/person/name/#text"
+
+
+def build_pipelines(repository) -> dict:
+    """name -> zero-arg builder of a fresh operator pipeline.
+
+    Operators are single-consumption, so every timing run builds its
+    own pipeline; construction cost is part of both measurements.
+    """
+    from repro.query.physical import (
+        ContScan,
+        Select,
+        StructureSummaryAccess,
+        TextContent,
+    )
+
+    def q1_idscan():
+        # Q1-class: exact-match lookup as a scan + compressed-domain
+        # eq predicate over person ids.
+        scan = ContScan(repository, ID_PATH, "id", "v")
+        return Select(
+            scan, lambda r: r["v"].decode() == "person0",
+            column="v", predicate_kind="eq",
+            interval=("person0", "person0", True, True))
+
+    def q5_pricescan():
+        # Q5-class: inequality over closed-auction prices.
+        scan = ContScan(repository, PRICE_PATH, "id", "v")
+        return Select(
+            scan, lambda r: float(r["v"].decode()) >= 40.0,
+            column="v", predicate_kind="ineq",
+            interval=("40", None, True, True))
+
+    def q6_textcontent():
+        # materialization-heavy: structure ids joined to their text.
+        names = StructureSummaryAccess(
+            repository, [("descendant", "name")], "n")
+        return TextContent(names, repository, "n", "t", NAME_PATH)
+
+    return {"q1_idscan": q1_idscan, "q5_pricescan": q5_pricescan,
+            "q6_textcontent": q6_textcontent}
+
+
+def _consume_rows(operator) -> int:
+    return sum(1 for _ in operator)
+
+
+def _consume_batches(operator, batch_size: int) -> int:
+    return sum(len(batch) for batch in operator.batches(batch_size))
+
+
+def run_batchbench(args, out=sys.stdout) -> int:
+    from repro.query.engine import QueryEngine
+    from repro.query.options import ExecutionOptions
+    from repro.storage.loader import load_document
+    from repro.xmark.generator import generate_xmark
+    from repro.xmark.queries import query_text
+
+    xml_text = generate_xmark(factor=args.factor, seed=args.seed)
+    repository = load_document(xml_text)
+    pipelines = build_pipelines(repository)
+    repeat = max(args.repeat, 1)
+    failures: list[str] = []
+
+    for name, build in pipelines.items():
+        row_samples: list[float] = []
+        batch_samples: list[float] = []
+        # interleave: machine drift hits both paths equally.
+        for _ in range(repeat):
+            with Stopwatch() as watch:
+                row_count = _consume_rows(build())
+            row_samples.append(watch.seconds)
+            with Stopwatch() as watch:
+                batch_count = _consume_batches(build(),
+                                               args.batch_size)
+            batch_samples.append(watch.seconds)
+            if row_count != batch_count:
+                failures.append(
+                    f"{name}: row path produced {row_count} rows, "
+                    f"batch path {batch_count}")
+                break
+        for sample in row_samples:
+            record_point(query=name, wall_s=sample,
+                         experiment=EXPERIMENT_ROW,
+                         items=row_count, path=args.trajectory)
+        for sample in batch_samples:
+            record_point(query=name, wall_s=sample,
+                         experiment=EXPERIMENT_BATCH,
+                         items=batch_count, path=args.trajectory)
+        speedup = median(row_samples) / median(batch_samples)
+        gated = name in GATED
+        print(f"{name}: rows {median(row_samples) * 1e3:.3f} ms, "
+              f"batch {median(batch_samples) * 1e3:.3f} ms "
+              f"({batch_count} rows) -> {speedup:.1f}x"
+              f"{'' if gated else '  [informational]'}", file=out)
+        if gated and speedup < args.min_speedup:
+            failures.append(
+                f"{name}: {speedup:.1f}x < required "
+                f"{args.min_speedup:.1f}x")
+
+    for query_id in ("Q1", "Q5"):
+        text = query_text(query_id)
+        engine = QueryEngine(repository)
+        row_samples = []
+        batch_samples = []
+        for _ in range(repeat):
+            with Stopwatch() as watch:
+                engine.execute(text,
+                               ExecutionOptions(batch_size=1)).items
+            row_samples.append(watch.seconds)
+            with Stopwatch() as watch:
+                engine.execute(
+                    text,
+                    ExecutionOptions(batch_size=args.batch_size)).items
+            batch_samples.append(watch.seconds)
+        for sample in batch_samples:
+            record_point(query=query_id, wall_s=sample,
+                         experiment=EXPERIMENT_ENGINE,
+                         path=args.trajectory)
+        speedup = median(row_samples) / median(batch_samples)
+        print(f"engine {query_id}: row-path "
+              f"{median(row_samples) * 1e3:.3f} ms, batch "
+              f"{median(batch_samples) * 1e3:.3f} ms -> "
+              f"{speedup:.2f}x  [informational]", file=out)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=out)
+        return 1
+    print(f"batchbench: PASS (gated pipelines >= "
+          f"{args.min_speedup:.1f}x at batch size "
+          f"{args.batch_size})", file=out)
+    return 0
+
+
+def add_batchbench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--factor", type=float, default=0.1,
+                        help="XMark scale factor (default 0.1)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="interleaved repeats per pipeline "
+                             "(default 5; the perf gate wants >= 3 "
+                             "samples)")
+    parser.add_argument("--batch-size", type=int, default=1024,
+                        help="batch width under test (default 1024)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required batch-over-row factor for the "
+                             "gated scan pipelines (default 5.0)")
+    parser.add_argument("--trajectory", type=Path,
+                        default=TRAJECTORY_PATH,
+                        help="trajectory file to append points to")
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.batchbench",
+        description="batch-vs-row operator benchmark (DESIGN.md §13)")
+    add_batchbench_arguments(parser)
+    return run_batchbench(parser.parse_args(argv), out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

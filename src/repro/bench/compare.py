@@ -175,10 +175,81 @@ class CompareReport:
         return "\n".join(out)
 
 
+def parse_requirement(spec: str) -> tuple[str, str, float]:
+    """Parse ``EXPERIMENT:QUERY[:RATIO]`` (RATIO defaults to 1.0).
+
+    The requirement asserts ``baseline_median / current_median >=
+    RATIO`` — i.e. the current point must be at least RATIO× *faster*
+    than the committed baseline (1.0 = any improvement at all).
+    """
+    parts = spec.split(":")
+    if len(parts) == 2:
+        experiment, query = parts
+        ratio = 1.0
+    elif len(parts) == 3:
+        experiment, query = parts[0], parts[1]
+        try:
+            ratio = float(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"bad --require-improvement ratio in {spec!r}")
+    else:
+        raise ValueError(
+            f"--require-improvement wants EXPERIMENT:QUERY[:RATIO], "
+            f"got {spec!r}")
+    if ratio <= 0:
+        raise ValueError(
+            f"--require-improvement ratio must be > 0, got {ratio}")
+    return (experiment, query, ratio)
+
+
+def check_improvements(report: CompareReport,
+                       requirements: list[tuple[str, str, float]]
+                       ) -> None:
+    """Turn unmet improvement requirements into gate errors.
+
+    Unlike the regression check — where a missing or thin key stays
+    informational — a *required* key that is absent or has too few
+    samples is an error: the whole point of requiring the key is that
+    someone claimed a speedup there (the batch engine's scan win), and
+    silence must not pass for proof.
+    """
+    by_key = {(e.experiment, e.query): e for e in report.entries}
+    for experiment, query, ratio in requirements:
+        entry = by_key.get((experiment, query))
+        if entry is None or entry.current_median_s is None:
+            report.errors.append(
+                f"required improvement {experiment}:{query}: no "
+                "current points recorded")
+            continue
+        if not entry.baseline_median_s:
+            report.errors.append(
+                f"required improvement {experiment}:{query}: no "
+                "baseline points to improve on")
+            continue
+        if entry.current_samples < report.min_samples or \
+                entry.baseline_samples < report.min_samples:
+            report.errors.append(
+                f"required improvement {experiment}:{query}: "
+                f"insufficient samples "
+                f"({entry.baseline_samples} baseline / "
+                f"{entry.current_samples} current, "
+                f"need {report.min_samples})")
+            continue
+        achieved = entry.baseline_median_s / entry.current_median_s
+        if achieved < ratio:
+            report.errors.append(
+                f"required improvement {experiment}:{query}: wanted "
+                f">= {ratio:.2f}x faster than baseline, got "
+                f"{achieved:.2f}x")
+
+
 def compare_points(current: list[dict], baseline: list[dict], *,
                    threshold: float = DEFAULT_THRESHOLD,
                    min_samples: int = DEFAULT_MIN_SAMPLES,
-                   experiments: set[str] | None = None
+                   experiments: set[str] | None = None,
+                   require_improvements:
+                   list[tuple[str, str, float]] | None = None
                    ) -> CompareReport:
     """Judge a fresh trajectory against the committed baseline."""
     report = CompareReport(threshold=threshold,
@@ -227,6 +298,8 @@ def compare_points(current: list[dict], baseline: list[dict], *,
                 status = "ok"
         report.entries.append(
             CompareEntry(experiment, query, status, **entry_kwargs))
+    if require_improvements:
+        check_improvements(report, require_improvements)
     return report
 
 
@@ -254,6 +327,13 @@ def add_compare_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--experiment", action="append", default=None,
                         help="only judge these experiment labels "
                              "(repeatable; default: all)")
+    parser.add_argument("--require-improvement", action="append",
+                        default=None, metavar="EXP:QUERY[:RATIO]",
+                        type=parse_requirement,
+                        help="fail unless this key's current median "
+                             "is at least RATIO x faster than the "
+                             "baseline (RATIO defaults to 1.0; "
+                             "repeatable)")
     parser.add_argument("--json", action="store_true",
                         help="emit the full report as JSON")
     parser.add_argument("--output", type=Path, default=None,
@@ -267,7 +347,8 @@ def run_compare(args, out=sys.stdout) -> int:
     report = compare_points(
         current, baseline, threshold=args.threshold,
         min_samples=args.min_samples,
-        experiments=set(args.experiment) if args.experiment else None)
+        experiments=set(args.experiment) if args.experiment else None,
+        require_improvements=args.require_improvement)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True),
               file=out)

@@ -85,6 +85,11 @@ class IntegerCodec(Codec):
         """Bytes per encoded value."""
         return self._width
 
+    @property
+    def minimum(self) -> int:
+        """Offset subtracted before encoding (added back on decode)."""
+        return self._minimum
+
     def encode(self, value: str) -> CompressedValue:
         if not is_canonical_int(value):
             raise CodecDomainError(f"{value!r} is not a canonical integer")

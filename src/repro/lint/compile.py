@@ -83,6 +83,9 @@ class OpaqueSource(Operator):
     def _rows(self):
         return iter(())
 
+    def _batches(self, size):
+        return iter(())
+
 
 class _SketchCompiler:
     def __init__(self, repository: CompressedRepository,

@@ -47,7 +47,7 @@ class _ClassRecord:
 
     __slots__ = ("name", "bases", "file", "line",
                  "declares_properties", "declares_rows",
-                 "declares_iter")
+                 "declares_iter", "declares_batches")
 
     def __init__(self, node: ast.ClassDef, file: str):
         self.name = node.name
@@ -57,6 +57,7 @@ class _ClassRecord:
         self.declares_properties = _assigns(node, "properties")
         self.declares_rows = _defines(node, "_rows")
         self.declares_iter = _defines(node, "__iter__")
+        self.declares_batches = _defines(node, "_batches")
 
 
 def _base_name(node: ast.expr) -> str | None:
@@ -222,12 +223,23 @@ def _check_operators(classes: dict[str, _ClassRecord]
     for record in classes.values():
         if "Operator" not in record.bases:
             continue
-        if not record.declares_rows:
+        if not record.declares_rows and not record.declares_batches:
             diagnostics.append(SourceDiagnostic.make(
                 "src.operator-rows", record.file, record.line,
-                f"operator {record.name} does not implement _rows",
-                hint="operators yield rows from _rows; __iter__ on "
-                     "the base routes them through _traced"))
+                f"operator {record.name} implements neither _batches "
+                "nor _rows",
+                hint="operators yield RecordBatches from _batches "
+                     "(or rows from _rows); __iter__/batches() on "
+                     "the base route them through _traced"))
+        elif record.declares_rows and not record.declares_batches:
+            diagnostics.append(SourceDiagnostic.make(
+                "src.operator-rows-no-batches", record.file,
+                record.line,
+                f"operator {record.name} implements only the "
+                "deprecated row-pull _rows protocol",
+                hint="implement _batches(size) (DESIGN.md §13); "
+                     "return self._compat_batches(size) to chunk an "
+                     "inherently row-at-a-time algorithm"))
         if record.declares_iter:
             diagnostics.append(SourceDiagnostic.make(
                 "src.operator-iter-override", record.file,

@@ -24,6 +24,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+import numpy as np
+
 from repro.errors import QueryError, QueryTypeError
 from repro.obs import runtime
 from repro.obs.telemetry import Telemetry
@@ -249,7 +251,8 @@ class QueryEngine:
             for diagnostic in diagnostics:
                 telemetry.metrics.add(f"lint.{diagnostic.severity}")
         evaluator = _Evaluator(self.repository, self._fulltext_indexes,
-                               self.collection, telemetry=telemetry)
+                               self.collection, telemetry=telemetry,
+                               batch_size=options.resolve_batch_size())
         query_text = query if isinstance(query, str) else \
             (label if label is not None else type(ast).__name__)
         base_env = options.binding_environment()
@@ -359,10 +362,16 @@ class _Evaluator:
     def __init__(self, repository: CompressedRepository,
                  fulltext_indexes: dict | None = None,
                  collection: dict[str, CompressedRepository]
-                 | None = None, telemetry: Telemetry | None = None):
+                 | None = None, telemetry: Telemetry | None = None,
+                 batch_size: int | None = None):
+        from repro.query.batch import DEFAULT_BATCH_SIZE
         self.repository = repository
         self._collection = collection or {}
         self._fulltext_indexes = fulltext_indexes or {}
+        #: rows per batch for array-shaped access paths; 1 keeps every
+        #: evaluation step on the legacy scalar path.
+        self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None \
+            else batch_size
         self.telemetry = telemetry if telemetry is not None \
             else Telemetry(enabled=False)
         # The stats view and the telemetry share one registry, so
@@ -673,6 +682,25 @@ class _Evaluator:
                     _interval_kind(plan.low, plan.high,
                                    plan.low_inclusive,
                                    plan.high_inclusive))
+            if self.batch_size > 1 and not container.is_blob:
+                # Batch path (DESIGN.md §13): the interval is one slot
+                # range of the sorted container, the owning elements
+                # one array slice, and the Parent hops one gather per
+                # ascend level — no per-record Python at all.
+                start, end = container.interval_bounds(
+                    plan.low, plan.high, plan.low_inclusive,
+                    plan.high_inclusive)
+                ids = container.as_arrays().parent_ids[start:end]
+                if plan.ascend and len(ids):
+                    parents = structure.parent_array()
+                    ids = np.unique(ids)
+                    for _ in range(plan.ascend):
+                        up = parents[ids]
+                        # A node whose parent is the virtual root (-1)
+                        # stops climbing, like the scalar break below.
+                        ids = np.where(up >= 0, up, ids)
+                matched.update(int(i) for i in np.unique(ids))
+                continue
             for parent_id, _ in container.interval_search(
                     plan.low, plan.high, plan.low_inclusive,
                     plan.high_inclusive):

@@ -56,6 +56,13 @@ class ExecutionOptions:
         profiler attributes samples to open spans); the finished
         :class:`~repro.obs.profiler.SpanProfile` lands on
         ``result.telemetry.profile``.
+    ``batch_size``
+        Rows per :class:`~repro.query.batch.RecordBatch` in the batch
+        execution engine (DESIGN.md §13).  ``None`` inherits the
+        session default (ultimately
+        :data:`~repro.query.batch.DEFAULT_BATCH_SIZE`); ``1`` forces
+        the legacy row-at-a-time path — the knob the differential
+        suite turns to hold both paths to identical results.
     """
 
     telemetry: Telemetry | None = None
@@ -65,6 +72,21 @@ class ExecutionOptions:
     use_block_cache: bool = True
     bindings: Mapping[str, object] | None = None
     profile: ProfileOptions | bool | None = None
+    batch_size: int | None = None
+
+    def __post_init__(self):
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+
+    def resolve_batch_size(self, default: int | None = None) -> int:
+        """The effective rows-per-batch for this run."""
+        from repro.query.batch import DEFAULT_BATCH_SIZE
+        if self.batch_size is not None:
+            return self.batch_size
+        if default is not None:
+            return default
+        return DEFAULT_BATCH_SIZE
 
     def with_telemetry(self, telemetry: Telemetry) -> "ExecutionOptions":
         """A copy of these options recording into ``telemetry``."""

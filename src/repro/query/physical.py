@@ -11,20 +11,37 @@ Three operator classes, exactly as the paper groups them:
 * **(de)compression / serialization** — :class:`Decompress`,
   :class:`CompressConstant`, :class:`XMLSerialize`.
 
-Operators are iterators over *rows* (dicts mapping column names to
-items), so plans compose by nesting.  Order guarantees mirror §4:
-``StructureSummaryAccess`` emits element ids in document order,
-``Parent``/``Child`` preserve the order of their input, and
-``ContScan``/``ContAccess`` emit in *value* order — which is what lets
-plans use :class:`MergeJoin` without sorting.
+Operators move data through the **batch-pull protocol** (DESIGN.md
+§13): ``batches(batch_size)`` yields
+:class:`~repro.query.batch.RecordBatch` columnar slices, and the
+scan/selection/join operators evaluate over numpy arrays — container
+slot ranges for compressed-domain predicates, ``np.searchsorted`` for
+merge keys.  The historical row-pull protocol survives as a thin
+compatibility layer: iterating an operator still yields *rows* (dicts
+mapping column names to items) with exactly the same contents and
+order, so plans compose by nesting either way.  Operators that only
+implement the legacy ``_rows`` keep working through a chunking shim
+(with a ``DeprecationWarning`` — see ``src.operator-rows-no-batches``).
+
+Order guarantees mirror §4: ``StructureSummaryAccess`` emits element
+ids in document order, ``Parent``/``Child`` preserve the order of
+their input, and ``ContScan``/``ContAccess`` emit in *value* order —
+which is what lets plans use :class:`MergeJoin` without sorting.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable, Iterator
 from time import perf_counter_ns
 
+import numpy as np
+
+from repro.errors import StorageError
 from repro.obs import runtime
+from repro.query.batch import (DEFAULT_BATCH_SIZE, ItemColumn,
+                               NodeColumn, RecordBatch, ValueColumn,
+                               batches_from_rows, rows_of_batches)
 from repro.query.context import CompressedItem, EvaluationStats, NodeItem
 from repro.storage.repository import CompressedRepository
 
@@ -59,28 +76,107 @@ def _traced_rows(name: str, rows: Iterator[Row], telemetry
         metrics.add(f"op.{name}.rows", count)
 
 
+def _traced_batches(name: str, batches: Iterator[RecordBatch]
+                    ) -> Iterator[RecordBatch]:
+    """Batch-mode twin of :func:`_traced` (same span/row accounting).
+
+    Rows are counted from batch lengths — EXPLAIN ANALYZE and the
+    profiler read identical ``span.<name>`` / ``op.<name>.rows``
+    series whichever protocol ran — plus an ``op.<name>.batches``
+    counter attributing how many batches carried them.
+    """
+    telemetry = runtime.ACTIVE
+    if telemetry is None:
+        return batches
+    return _traced_batch_iter(name, batches, telemetry)
+
+
+def _traced_batch_iter(name: str, batches: Iterator[RecordBatch],
+                       telemetry) -> Iterator[RecordBatch]:
+    metrics = telemetry.metrics
+    rows = 0
+    count = 0
+    start = perf_counter_ns()
+    try:
+        for batch in batches:
+            rows += len(batch)
+            count += 1
+            yield batch
+    finally:
+        metrics.observe(f"span.{name}", perf_counter_ns() - start)
+        metrics.add(f"op.{name}.rows", rows)
+        metrics.add(f"op.{name}.batches", count)
+
+
+def _input_batches(source, size: int) -> Iterator[RecordBatch]:
+    """Batches from an operator input (operator or plain row iterable)."""
+    if isinstance(source, Operator):
+        return source.batches(size)
+    return batches_from_rows(iter(source), size)
+
+
 class Operator:
-    """Base class: an iterable of rows.
+    """Base class: a batch-pull operator that is also iterable as rows.
 
-    ``__iter__`` routes through :func:`_traced` using the class name,
-    so every physical operator reports rows and wall time whenever a
-    telemetry run is active; subclasses implement ``_rows`` (both are
-    repo invariants enforced by ``repro lint-src``).
+    Subclasses implement ``_batches(size)`` (and usually keep a scalar
+    ``_rows`` so the legacy row path stays available for differential
+    testing); either protocol is derived from the other:
 
-    ``INPUTS`` names the attributes holding the operator's row-stream
+    * ``batches(batch_size)`` routes through :func:`_traced_batches`;
+      an operator that only has ``_rows`` is chunked by the compat
+      shim, with a ``DeprecationWarning`` naming the class.
+    * ``__iter__`` routes through :func:`_traced` over ``_rows``; an
+      operator that only has ``_batches`` gets its rows by flattening
+      batches.
+
+    ``INPUTS`` names the attributes holding the operator's stream
     inputs, in plan order — the static plan verifier
     (:mod:`repro.lint.plan`) walks plans through it without executing
     them.
     """
 
-    #: attribute names of this operator's row-stream inputs, in order.
+    #: attribute names of this operator's stream inputs, in order.
     INPUTS: tuple[str, ...] = ()
 
     def __iter__(self) -> Iterator[Row]:
         return _traced(type(self).__name__, self._rows())
 
     def _rows(self) -> Iterator[Row]:
-        raise NotImplementedError
+        cls = type(self)
+        if cls._batches is Operator._batches:
+            raise NotImplementedError(
+                f"{cls.__name__} implements neither _batches nor _rows")
+        return rows_of_batches(self._batches(DEFAULT_BATCH_SIZE))
+
+    def batches(self, batch_size: int | None = None
+                ) -> Iterator[RecordBatch]:
+        """The operator's output as traced RecordBatch slices."""
+        size = DEFAULT_BATCH_SIZE if batch_size is None \
+            else int(batch_size)
+        if size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {size}")
+        return _traced_batches(type(self).__name__, self._batches(size))
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        cls = type(self)
+        if cls._rows is Operator._rows:
+            raise NotImplementedError(
+                f"{cls.__name__} implements neither _batches nor _rows")
+        warnings.warn(
+            f"{cls.__name__} implements _rows() without _batches(); "
+            "the row-pull operator protocol is deprecated — implement "
+            "_batches() (DESIGN.md §13)",
+            DeprecationWarning, stacklevel=3)
+        return batches_from_rows(self._rows(), size)
+
+    def _compat_batches(self, size: int) -> Iterator[RecordBatch]:
+        """Chunk the scalar row path (explicit, warning-free compat).
+
+        For operators whose per-row work is irreducibly scalar
+        (``Child`` expansion, theta-join conditions): declaring
+        ``_batches = row chunking`` is a decision, not an omission.
+        """
+        return batches_from_rows(self._rows(), size)
 
     def inputs(self) -> list:
         """The operator's input streams (operators or plain iterables)."""
@@ -94,7 +190,12 @@ class Operator:
 # -- data access operators ----------------------------------------------------
 
 class ContScan(Operator):
-    """Scan all (elementID, compressed value) pairs of a container."""
+    """Scan all (elementID, compressed value) pairs of a container.
+
+    Batch mode never materializes per-record objects: ids come straight
+    from the container's cached parent-id array and values ride as slot
+    ranges (:class:`~repro.query.batch.ValueColumn`).
+    """
 
     def __init__(self, repository: CompressedRepository, path: str,
                  id_column: str, value_column: str,
@@ -110,6 +211,9 @@ class ContScan(Operator):
     def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
             self._stats.container_scans += 1
+        yield from self._scan_rows()
+
+    def _scan_rows(self) -> Iterator[Row]:
         container = self._container
         codec = container.codec
         value_type = container.value_type
@@ -118,9 +222,34 @@ class ContScan(Operator):
                    self._value_column: CompressedItem(
                        compressed, codec, value_type)}
 
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        if self._stats is not None:
+            self._stats.container_scans += 1
+        container = self._container
+        arrays = container.as_arrays()
+        if arrays.records is None:  # blob: no per-record slots
+            yield from batches_from_rows(self._scan_rows(), size)
+            return
+        # Mirror scan()'s access accounting without building rows.
+        if runtime.ACTIVE is not None:
+            runtime.add("container.scans")
+        if runtime.RECORDER is not None:
+            runtime.RECORDER.record_access(container.path, "scans")
+        for start in range(0, arrays.count, size):
+            stop = min(start + size, arrays.count)
+            yield RecordBatch({
+                self._id_column:
+                    NodeColumn(arrays.parent_ids[start:stop]),
+                self._value_column:
+                    ValueColumn(container, np.arange(start, stop))})
+
 
 class ContAccess(Operator):
-    """Interval access into a container (binary search, §2.2)."""
+    """Interval access into a container (binary search, §2.2).
+
+    Batch mode resolves the interval to one slot range
+    (``interval_bounds``) and emits array slices of it.
+    """
 
     def __init__(self, repository: CompressedRepository, path: str,
                  id_column: str, value_column: str,
@@ -137,22 +266,48 @@ class ContAccess(Operator):
         self.value_column = value_column
         self.interval = self._interval
 
+    def _record_predicate(self) -> None:
+        if runtime.RECORDER is not None:
+            low, high, low_inc, high_inc = self._interval
+            kind = "eq" if (low is not None and low == high
+                            and low_inc and high_inc) else "ineq"
+            runtime.RECORDER.record_predicate(self._container.path, kind)
+
     def _rows(self) -> Iterator[Row]:
         if self._stats is not None:
             self._stats.container_accesses += 1
+        self._record_predicate()
+        yield from self._interval_rows()
+
+    def _interval_rows(self) -> Iterator[Row]:
         container = self._container
         codec = container.codec
         value_type = container.value_type
         low, high, low_inc, high_inc = self._interval
-        if runtime.RECORDER is not None:
-            kind = "eq" if (low is not None and low == high
-                            and low_inc and high_inc) else "ineq"
-            runtime.RECORDER.record_predicate(container.path, kind)
         for parent_id, compressed in container.interval_search(
                 low, high, low_inc, high_inc):
             yield {self._id_column: NodeItem(parent_id),
                    self._value_column: CompressedItem(
                        compressed, codec, value_type)}
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        if self._stats is not None:
+            self._stats.container_accesses += 1
+        self._record_predicate()
+        container = self._container
+        low, high, low_inc, high_inc = self._interval
+        bounds = container.interval_bounds(low, high, low_inc, high_inc)
+        if bounds is None:  # blob container: filtered full scan
+            yield from batches_from_rows(self._interval_rows(), size)
+            return
+        arrays = container.as_arrays()
+        start, end = bounds
+        for lo in range(start, end, size):
+            hi = min(lo + size, end)
+            yield RecordBatch({
+                self._id_column: NodeColumn(arrays.parent_ids[lo:hi]),
+                self._value_column:
+                    ValueColumn(container, np.arange(lo, hi))})
 
 
 class StructureSummaryAccess(Operator):
@@ -167,21 +322,35 @@ class StructureSummaryAccess(Operator):
         self._stats = stats
         self.column = column
 
-    def _rows(self) -> Iterator[Row]:
-        if self._stats is not None:
-            self._stats.summary_accesses += 1
+    def _merged_ids(self) -> np.ndarray:
         merged: set[int] = set()
         for node in self._repository.resolve_path(self._steps):
             merged.update(node.extent)
-        for node_id in sorted(merged):
-            yield {self._column: NodeItem(node_id)}
+        ids = np.fromiter(merged, dtype=np.int64, count=len(merged))
+        ids.sort()
+        return ids
+
+    def _rows(self) -> Iterator[Row]:
+        if self._stats is not None:
+            self._stats.summary_accesses += 1
+        for node_id in self._merged_ids():
+            yield {self._column: NodeItem(int(node_id))}
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        if self._stats is not None:
+            self._stats.summary_accesses += 1
+        ids = self._merged_ids()
+        for start in range(0, len(ids), size):
+            yield RecordBatch({
+                self._column: NodeColumn(ids[start:start + size])})
 
 
 class Child(Operator):
     """Append each input node's children (optionally tag-filtered).
 
     Children of one node are emitted in document order; input order is
-    preserved (§4).
+    preserved (§4).  Per-node fan-out is irregular, so batch mode is
+    the explicit row-chunking compat path.
     """
 
     INPUTS = ("_source",)
@@ -213,9 +382,16 @@ class Child(Operator):
                     self._stats.nodes_visited += 1
                 yield {**row, self._output: NodeItem(child_id)}
 
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        return self._compat_batches(size)
+
 
 class Parent(Operator):
-    """Append each input node's parent; preserves input order (§4)."""
+    """Append each input node's parent; preserves input order (§4).
+
+    Batch mode gathers parents from the structure tree's cached
+    parent-id array in one indexing operation per batch.
+    """
 
     INPUTS = ("_source",)
 
@@ -241,6 +417,31 @@ class Parent(Operator):
             if self._stats is not None:
                 self._stats.nodes_visited += 1
             yield {**row, self._output: NodeItem(parent_id)}
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        parents = self._repository.structure.parent_array()
+        for batch in _input_batches(self._source, size):
+            batch = batch.compact()
+            if not len(batch):
+                continue
+            column = batch.column(self._input)
+            if isinstance(column, NodeColumn):
+                ids = column.ids
+            else:
+                ids = np.fromiter(
+                    (item.node_id for item in column.to_items()),
+                    dtype=np.int64, count=len(batch))
+            out_parents = parents[ids]
+            keep = out_parents >= 0
+            if not keep.all():
+                batch = batch.take(np.flatnonzero(keep))
+                out_parents = out_parents[keep]
+            if not len(batch):
+                continue
+            if self._stats is not None:
+                self._stats.nodes_visited += len(batch)
+            yield batch.with_column(self._output,
+                                    NodeColumn(out_parents))
 
 
 class Descendant(Operator):
@@ -276,12 +477,26 @@ class Descendant(Operator):
                     self._stats.nodes_visited += 1
                 yield {**row, self._output: NodeItem(descendant_id)}
 
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        return self._compat_batches(size)
+
+
+def _concat_ranges(lo: np.ndarray, hi: np.ndarray,
+                   total: int) -> np.ndarray:
+    """Concatenate the integer ranges ``[lo[i], hi[i])`` vectorized."""
+    counts = hi - lo
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.repeat(lo, counts) + (np.arange(total) - offsets)
+
 
 class TextContent(Operator):
     """Pair element ids with their immediate text content.
 
-    Implemented, as in the paper, as a hash join between the input ids
-    and a ``ContScan`` of the text container.
+    The row path implements it, as in the paper, as a hash join
+    between the input ids and a ``ContScan`` of the text container;
+    the batch path replaces the hash table with ``np.searchsorted``
+    over the container's parent-id array sorted by parent (a
+    vectorized index-nested-loop with the same output order).
     """
 
     INPUTS = ("_source",)
@@ -301,21 +516,63 @@ class TextContent(Operator):
         self.output_column = output_column
         self.container = repository.container(container_path)
 
-    def _rows(self) -> Iterator[Row]:
-        container = self._repository.container(self._container_path)
+    def _count_join(self) -> None:
         if self._stats is not None:
             self._stats.container_scans += 1
             self._stats.hash_joins += 1
+
+    def _rows(self) -> Iterator[Row]:
+        self._count_join()
+        yield from self._join_rows(self._source)
+
+    def _join_rows(self, source: Iterable[Row]) -> Iterator[Row]:
+        container = self._repository.container(self._container_path)
         codec = container.codec
         value_type = container.value_type
         by_parent: dict[int, list[CompressedItem]] = {}
         for parent_id, compressed in container.scan():
             by_parent.setdefault(parent_id, []).append(
                 CompressedItem(compressed, codec, value_type))
-        for row in self._source:
+        for row in source:
             node = row[self._input]
             for item in by_parent.get(node.node_id, ()):
                 yield {**row, self._output: item}
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        container = self._repository.container(self._container_path)
+        arrays = container.as_arrays()
+        if arrays.records is None:  # blob: keep the hash-join path
+            yield from batches_from_rows(self._rows(), size)
+            return
+        self._count_join()
+        if runtime.ACTIVE is not None:  # mirrors the row path's scan()
+            runtime.add("container.scans")
+        if runtime.RECORDER is not None:
+            runtime.RECORDER.record_access(container.path, "scans")
+        # Stable sort by parent keeps each node's texts in value order,
+        # exactly the order the hash join's scan built its buckets in.
+        order = np.argsort(arrays.parent_ids, kind="stable")
+        sorted_parents = arrays.parent_ids[order]
+        for batch in _input_batches(self._source, size):
+            batch = batch.compact()
+            if not len(batch):
+                continue
+            column = batch.column(self._input)
+            if isinstance(column, NodeColumn):
+                ids = column.ids
+            else:
+                ids = np.fromiter(
+                    (item.node_id for item in column.to_items()),
+                    dtype=np.int64, count=len(batch))
+            lo = np.searchsorted(sorted_parents, ids, side="left")
+            hi = np.searchsorted(sorted_parents, ids, side="right")
+            total = int((hi - lo).sum())
+            if total == 0:
+                continue
+            source_rows = np.repeat(np.arange(len(ids)), hi - lo)
+            slots = order[_concat_ranges(lo, hi, total)]
+            yield batch.take(source_rows).with_column(
+                self._output, ValueColumn(container, slots))
 
 
 class AttributeContent(Operator):
@@ -334,6 +591,9 @@ class AttributeContent(Operator):
     def _rows(self) -> Iterator[Row]:
         return iter(self._inner)
 
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        return self._inner.batches(size)
+
 
 # -- data combination operators --------------------------------------------------
 
@@ -346,6 +606,15 @@ class Select(Operator):
     ``predicate_kind`` is the paper's capability kind (``"eq"``,
     ``"ineq"`` or ``"wild"``) when the test runs *in the compressed
     domain*, and ``references`` lists every column the predicate reads.
+
+    ``interval`` optionally declares the predicate as a value interval
+    ``(low, high, low_inclusive, high_inclusive)`` over ``column`` —
+    the declaration the batch path compiles into a vectorized mask:
+    when the column is a :class:`~repro.query.batch.ValueColumn`, the
+    container's sortedness turns the interval into one slot range and
+    the predicate into two array comparisons, with no per-row calls.
+    The callable must implement exactly the declared interval (it
+    remains the row path's, and any fallback's, source of truth).
     """
 
     INPUTS = ("_source",)
@@ -353,19 +622,58 @@ class Select(Operator):
     def __init__(self, source: Iterable[Row], predicate, *,
                  column: str | None = None,
                  predicate_kind: str | None = None,
-                 references: tuple[str, ...] | None = None):
+                 references: tuple[str, ...] | None = None,
+                 interval: tuple | None = None):
         self._source = source
         self._predicate = predicate
         self.column = column
         self.predicate_kind = predicate_kind
         self.references = tuple(references) if references is not None \
             else ((column,) if column is not None else None)
+        self.interval = tuple(interval) if interval is not None else None
+        self._bounds_cache: dict[int, tuple[int, int] | None] = {}
 
     def _rows(self) -> Iterator[Row]:
         predicate = self._predicate
         for row in self._source:
             if predicate(row):
                 yield row
+
+    def _vector_mask(self, batch: RecordBatch) -> np.ndarray | None:
+        """Mask from the declared interval, or ``None`` to fall back."""
+        if self.interval is None or self.column is None:
+            return None
+        try:
+            column = batch.column(self.column)
+        except KeyError:
+            return None
+        if not isinstance(column, ValueColumn):
+            return None
+        container = column.container
+        key = id(container)
+        if key not in self._bounds_cache:
+            try:
+                self._bounds_cache[key] = container.interval_positions(
+                    *self.interval)
+            except StorageError:
+                self._bounds_cache[key] = None
+        bounds = self._bounds_cache[key]
+        if bounds is None:
+            return None
+        return column.interval_mask(*bounds)
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        predicate = self._predicate
+        for batch in _input_batches(self._source, size):
+            mask = self._vector_mask(batch)
+            if mask is None:
+                batch = batch.compact()
+                mask = np.empty(len(batch), dtype=bool)
+                for i, row in enumerate(batch.to_rows()):
+                    mask[i] = bool(predicate(row))
+            out = batch.filter(mask)
+            if len(out):
+                yield out
 
 
 class Project(Operator):
@@ -382,6 +690,10 @@ class Project(Operator):
         columns = self._columns
         for row in self._source:
             yield {c: row[c] for c in columns}
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        for batch in _input_batches(self._source, size):
+            yield batch.project(self._columns)
 
 
 class HashJoin(Operator):
@@ -418,6 +730,90 @@ class HashJoin(Operator):
             for match in index.get(self._left_key(row), ()):
                 yield {**row, **match}
 
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        if self._stats is not None:
+            self._stats.hash_joins += 1
+        index: dict = {}
+        for row in rows_of_batches(_input_batches(self._right, size)):
+            index.setdefault(self._right_key(row), []).append(row)
+        chunk: list[Row] = []
+        for batch in _input_batches(self._left, size):
+            for row in batch.to_rows():
+                for match in index.get(self._left_key(row), ()):
+                    chunk.append({**row, **match})
+                    if len(chunk) >= size:
+                        yield RecordBatch.from_rows(chunk)
+                        chunk = []
+        if chunk:
+            yield RecordBatch.from_rows(chunk)
+
+
+class _BatchCursor:
+    """Streaming cursor over one merge-join input.
+
+    Holds exactly one (compacted) batch plus its key array at a time;
+    equal-key *runs* are located with ``np.searchsorted`` and may span
+    batch boundaries, in which case only the run is buffered.
+    """
+
+    def __init__(self, batches: Iterator[RecordBatch], key):
+        self._batches = batches
+        self._key = key
+        self._batch: RecordBatch | None = None
+        self._keys: np.ndarray | None = None
+        self._pos = 0
+
+    def _fetch(self) -> bool:
+        for batch in self._batches:
+            batch = batch.compact()
+            if not len(batch):
+                continue
+            keys = np.empty(len(batch), dtype=object)
+            key = self._key
+            for i, row in enumerate(batch.to_rows()):
+                keys[i] = key(row)
+            self._batch = batch
+            self._keys = keys
+            self._pos = 0
+            return True
+        self._batch = None
+        self._keys = None
+        return False
+
+    def ensure(self) -> bool:
+        """True when a current row exists (fetching as needed)."""
+        if self._keys is not None and self._pos < len(self._keys):
+            return True
+        return self._fetch()
+
+    def current_key(self):
+        assert self._keys is not None
+        return self._keys[self._pos]
+
+    def skip_below(self, key) -> None:
+        """Drop rows with keys ``< key`` from the current batch."""
+        assert self._keys is not None
+        self._pos += int(np.searchsorted(self._keys[self._pos:], key,
+                                         side="left"))
+
+    def take_run(self) -> RecordBatch:
+        """Consume the current equal-key run (may span batches)."""
+        assert self._keys is not None
+        run_key = self._keys[self._pos]
+        parts = []
+        while True:
+            end = self._pos + int(np.searchsorted(
+                self._keys[self._pos:], run_key, side="right"))
+            parts.append(self._batch.slice(self._pos, end))
+            self._pos = end
+            if self._pos < len(self._keys):
+                break
+            if not self._fetch():
+                break
+            if not (self._keys[0] == run_key):
+                break
+        return parts[0] if len(parts) == 1 else RecordBatch.concat(parts)
+
 
 class MergeJoin(Operator):
     """1-pass merge join over inputs already sorted on their keys.
@@ -427,6 +823,10 @@ class MergeJoin(Operator):
     both inputs really arrive sorted on their keys.  Declare the key
     columns via ``left_column``/``right_column`` and the plan verifier
     proves (or refutes) that order statically.
+
+    Both paths stream: the batch path buffers one batch per side (plus
+    the current equal-key run), the row path materializes only the
+    build (right) side and streams the probe.
     """
 
     INPUTS = ("_left", "_right")
@@ -443,32 +843,43 @@ class MergeJoin(Operator):
         self.right_column = right_column
 
     def _rows(self) -> Iterator[Row]:
-        left_rows = list(self._left)
         right_rows = list(self._right)
-        i = 0
+        right_keys = [self._right_key(row) for row in right_rows]
+        count = len(right_rows)
         j = 0
-        while i < len(left_rows) and j < len(right_rows):
-            lk = self._left_key(left_rows[i])
-            rk = self._right_key(right_rows[j])
-            if lk < rk:
-                i += 1
-            elif rk < lk:
+        for left_row in self._left:  # probe side streams
+            left_key = self._left_key(left_row)
+            while j < count and right_keys[j] < left_key:
                 j += 1
+            # j parks at the first key >= left_key; equal left keys in
+            # a row re-emit the same right run from here.
+            k = j
+            while k < count and right_keys[k] == left_key:
+                yield {**left_row, **right_rows[k]}
+                k += 1
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        left = _BatchCursor(_input_batches(self._left, size),
+                            self._left_key)
+        right = _BatchCursor(_input_batches(self._right, size),
+                             self._right_key)
+        while left.ensure() and right.ensure():
+            left_key = left.current_key()
+            right_key = right.current_key()
+            if left_key < right_key:
+                left.skip_below(right_key)
+            elif right_key < left_key:
+                right.skip_below(left_key)
             else:
-                # Emit the cross product of the two equal-key runs.
-                i_end = i
-                while i_end < len(left_rows) and \
-                        self._left_key(left_rows[i_end]) == lk:
-                    i_end += 1
-                j_end = j
-                while j_end < len(right_rows) and \
-                        self._right_key(right_rows[j_end]) == rk:
-                    j_end += 1
-                for li in range(i, i_end):
-                    for rj in range(j, j_end):
-                        yield {**left_rows[li], **right_rows[rj]}
-                i = i_end
-                j = j_end
+                left_run = left.take_run()
+                right_run = right.take_run()
+                n_left = len(left_run)
+                n_right = len(right_run)
+                out = left_run.take(
+                    np.repeat(np.arange(n_left), n_right)).merged_with(
+                    right_run.take(np.tile(np.arange(n_right), n_left)))
+                for start in range(0, n_left * n_right, size):
+                    yield out.slice(start, start + size)
 
 
 class NestedLoopJoin(Operator):
@@ -492,6 +903,9 @@ class NestedLoopJoin(Operator):
                 if self._condition(left_row, right_row):
                     yield {**left_row, **right_row}
 
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        return self._compat_batches(size)
+
 
 class Distinct(Operator):
     """Drop duplicate rows (by a key function)."""
@@ -511,6 +925,25 @@ class Distinct(Operator):
             if key not in seen:
                 seen.add(key)
                 yield row
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        seen: set = set()
+        key_of = self._key
+        for batch in _input_batches(self._source, size):
+            batch = batch.compact()
+            if not len(batch):
+                continue
+            mask = np.empty(len(batch), dtype=bool)
+            for i, row in enumerate(batch.to_rows()):
+                key = key_of(row)
+                if key in seen:
+                    mask[i] = False
+                else:
+                    seen.add(key)
+                    mask[i] = True
+            out = batch.filter(mask)
+            if len(out):
+                yield out
 
 
 class Sort(Operator):
@@ -533,6 +966,12 @@ class Sort(Operator):
     def _rows(self) -> Iterator[Row]:
         yield from sorted(self._source, key=self._key,
                           reverse=self._reverse)
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        ordered = sorted(
+            rows_of_batches(_input_batches(self._source, size)),
+            key=self._key, reverse=self._reverse)
+        return batches_from_rows(iter(ordered), size)
 
 
 # -- compression / decompression operators -------------------------------------
@@ -564,6 +1003,27 @@ class Decompress(Operator):
                     out[column] = item.decode(self._stats)
             yield out
 
+    def _decoded_column(self, column):
+        stats = self._stats
+        if isinstance(column, ValueColumn):
+            return ItemColumn([item.decode(stats)
+                               for item in column.to_items()])
+        if isinstance(column, ItemColumn):
+            return ItemColumn([
+                item.decode(stats) if isinstance(item, CompressedItem)
+                else item for item in column.to_items()])
+        return column  # NodeColumn: nothing compressed to decode
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        targets = self._columns
+        for batch in _input_batches(self._source, size):
+            batch = batch.compact()
+            columns = batch.columns()
+            for name in targets:
+                if name in columns:
+                    columns[name] = self._decoded_column(columns[name])
+            yield RecordBatch(columns, batch.raw_length)
+
 
 class XMLSerialize(Operator):
     """Render value columns of each row as plain strings (plan sink).
@@ -586,6 +1046,39 @@ class XMLSerialize(Operator):
     def _rows(self) -> Iterator[Row]:
         from repro.errors import QueryTypeError
         for row in self._source:
+            out = dict(row)
+            for column in self.columns:
+                item = out.get(column)
+                if isinstance(item, CompressedItem):
+                    raise QueryTypeError(
+                        f"column {column!r} reached XMLSerialize still "
+                        "compressed; plans must Decompress every "
+                        "serialized value exactly once")
+                if not isinstance(item, str):
+                    out[column] = str(item)
+            yield out
+
+    def _batches(self, size: int) -> Iterator[RecordBatch]:
+        from repro.errors import QueryTypeError
+        for batch in _input_batches(self._source, size):
+            batch = batch.compact()
+            for name in self.columns:
+                try:
+                    column = batch.column(name)
+                except KeyError:
+                    continue
+                if isinstance(column, ValueColumn):
+                    raise QueryTypeError(
+                        f"column {name!r} reached XMLSerialize still "
+                        "compressed; plans must Decompress every "
+                        "serialized value exactly once")
+            rows = list(self._serialized(batch.to_rows()))
+            if rows:
+                yield RecordBatch.from_rows(rows)
+
+    def _serialized(self, rows: Iterable[Row]) -> Iterator[Row]:
+        from repro.errors import QueryTypeError
+        for row in rows:
             out = dict(row)
             for column in self.columns:
                 item = out.get(column)

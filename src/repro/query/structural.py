@@ -51,6 +51,12 @@ class StructuralJoin(Operator):
         self._axis = axis
         self._stats = stats
 
+    def _batches(self, size: int):
+        # Stack-based holistic join: output order depends on a shared
+        # stack across the whole descendant stream, so the batch form
+        # chunks the row algorithm rather than splitting the stack.
+        return self._compat_batches(size)
+
     def _rows(self) -> Iterator[Row]:
         structure = self._structure
         a_column = self._ancestor_column

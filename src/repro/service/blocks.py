@@ -66,6 +66,23 @@ class CachedContainerView:
                         record.compressed.nbytes + _ENTRY_OVERHEAD)
         return record
 
+    def as_arrays(self):
+        """The container's array view, charged to the block cache.
+
+        The arrays are immutable once built (containers are sealed),
+        so the cache entry doubles as the memo *and* as budget
+        accounting: the batch engine's resident array footprint shows
+        up in — and is evicted by — the same byte budget as decoded
+        records.
+        """
+        key = ("arrays", self._container.path)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        arrays = self._container.as_arrays()
+        self._cache.put(key, arrays, arrays.nbytes + _ENTRY_OVERHEAD)
+        return arrays
+
     def __len__(self) -> int:
         return len(self._container)
 

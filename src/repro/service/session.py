@@ -155,7 +155,16 @@ class Session:
                  recorder: WorkloadRecorder | None = None,
                  slow_log: SlowQueryLog | None = None,
                  verify_plans: bool = True,
-                 telemetry_enabled: bool = False):
+                 telemetry_enabled: bool = False,
+                 batch_size: int | None = None):
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {batch_size}")
+        #: session default for ``ExecutionOptions.batch_size`` —
+        #: applied to every run that does not pin its own; ``None``
+        #: falls through to the engine default
+        #: (:data:`repro.query.batch.DEFAULT_BATCH_SIZE`).
+        self.batch_size = batch_size
         self.repository = repository
         self.collection = dict(collection) if collection else {}
         self.metrics = metrics if metrics is not None \
@@ -268,6 +277,8 @@ class Session:
     def _run(self, prepared: PreparedQuery,
              options: ExecutionOptions,
              cache_before: dict | None = None) -> QueryResult:
+        if options.batch_size is None and self.batch_size is not None:
+            options = replace(options, batch_size=self.batch_size)
         engine = self._engine_for(options)
         record = options.record
         if record is None:
@@ -427,8 +438,12 @@ class Database:
                  plan_capacity: int = DEFAULT_PLAN_CAPACITY,
                  block_budget: int = DEFAULT_BLOCK_BUDGET,
                  metrics: MetricsRegistry | None = None,
-                 slow_log: SlowQueryLog | None = None):
+                 slow_log: SlowQueryLog | None = None,
+                 batch_size: int | None = None):
         self.repository = repository
+        #: default ``batch_size`` handed to every session (and from
+        #: there to every run that does not pin its own).
+        self.batch_size = batch_size
         self.collection = dict(collection) if collection else {}
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
@@ -467,6 +482,7 @@ class Database:
         kwargs.setdefault("block_cache", self.block_cache)
         kwargs.setdefault("metrics", self.metrics)
         kwargs.setdefault("slow_log", self.slow_log)
+        kwargs.setdefault("batch_size", self.batch_size)
         return Session(self.repository,
                        self.collection or None, **kwargs)
 

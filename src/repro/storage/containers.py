@@ -22,10 +22,58 @@ from __future__ import annotations
 import bisect
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.compression.base import Codec, CompressedValue
 from repro.compression.blob import BlobCodec
 from repro.errors import StorageError
 from repro.obs import runtime
+
+
+class ContainerArrays:
+    """Array-shaped view of a sealed container (batch engine input).
+
+    ``parent_ids``
+        int64 array of parent pointers, in value order (slot *i* of
+        the container maps to ``parent_ids[i]``).
+    ``records``
+        The container's record list (shared, not copied), or ``None``
+        for blob containers, which have no per-record compressed form.
+    ``sort_keys``
+        Lazily decoded numeric keys (int64/float64) when the codec has
+        a vectorized kernel; ``None`` otherwise — see
+        :mod:`repro.compression.kernels`.
+    """
+
+    __slots__ = ("parent_ids", "records", "_codec", "_sort_keys")
+
+    def __init__(self, parent_ids: np.ndarray, records, codec):
+        self.parent_ids = parent_ids
+        self.records = records
+        self._codec = codec
+        self._sort_keys = False  # not yet computed (None is a result)
+
+    @property
+    def count(self) -> int:
+        return len(self.parent_ids)
+
+    @property
+    def sort_keys(self) -> np.ndarray | None:
+        if self._sort_keys is False:
+            from repro.compression.kernels import kernel_for
+            kernel = None if self.records is None \
+                else kernel_for(self._codec)
+            self._sort_keys = None if kernel is None \
+                else kernel.decode_keys(self.records)
+        return self._sort_keys
+
+    @property
+    def nbytes(self) -> int:
+        """Array bytes this view pins (block-cache budget accounting)."""
+        total = self.parent_ids.nbytes
+        if self._sort_keys is not False and self._sort_keys is not None:
+            total += self._sort_keys.nbytes
+        return total
 
 
 class ContainerRecord:
@@ -59,6 +107,8 @@ class ValueContainer:
         self._insertion_to_sorted: list[int] = []
         self._count = 0
         self._sealed = False
+        self._arrays: ContainerArrays | None = None
+        self._compressed_keys: list[CompressedValue] | None = None
 
     def _compare_key(self, value: str):
         """Comparison key honouring the container's elementary type."""
@@ -258,6 +308,71 @@ class ValueContainer:
         assert self._codec is not None
         return self._codec.decode(self._records[index].compressed)
 
+    def as_arrays(self) -> ContainerArrays:
+        """Cached array view of the sealed records (DESIGN.md §13).
+
+        Built once per container (records are frozen at seal time);
+        the serving layer's block cache additionally charges the view's
+        bytes against its budget via
+        :class:`repro.service.blocks.CachedContainerView`.
+        """
+        self._require_sealed()
+        if self._arrays is None:
+            if self._blob is not None:
+                assert self._blob_parents is not None
+                parents = np.array(self._blob_parents, dtype=np.int64)
+                self._arrays = ContainerArrays(parents, None, self._codec)
+            else:
+                parents = np.fromiter(
+                    (r.parent_id for r in self._records),
+                    dtype=np.int64, count=len(self._records))
+                self._arrays = ContainerArrays(parents, self._records,
+                                               self._codec)
+        return self._arrays
+
+    def interval_positions(self, low: str | None, high: str | None,
+                           low_inclusive: bool = True,
+                           high_inclusive: bool = True
+                           ) -> tuple[int, int] | None:
+        """Slot range ``[start, end)`` of the interval, or ``None``.
+
+        The positional core of :meth:`interval_search` (same bound
+        semantics), without the access-accounting side effects — the
+        batch engine turns the range into a boolean mask over record
+        slots.  ``None`` means the container is a blob and has no
+        positional access path.
+        """
+        self._require_sealed()
+        if self._blob is not None:
+            return None
+        assert self._codec is not None
+        if self._codec.properties.ineq:
+            positions = self._positions_compressed(
+                low, high, low_inclusive, high_inclusive)
+            if positions is not None:
+                return positions
+        return self._positions_decompressing(
+            low, high, low_inclusive, high_inclusive)
+
+    def interval_bounds(self, low: str | None, high: str | None,
+                        low_inclusive: bool = True,
+                        high_inclusive: bool = True
+                        ) -> tuple[int, int] | None:
+        """Counted :meth:`interval_positions` (a ``ContAccess`` probe).
+
+        Bumps the same access metrics as :meth:`interval_search`, so a
+        batch-mode interval access is indistinguishable from a row-mode
+        one in the workload observatory.
+        """
+        self._require_sealed()
+        if runtime.ACTIVE is not None:
+            runtime.add("container.interval_searches")
+        if runtime.RECORDER is not None:
+            runtime.RECORDER.record_access(self.path,
+                                           "interval_searches")
+        return self.interval_positions(low, high, low_inclusive,
+                                       high_inclusive)
+
     def interval_search(self, low: str | None, high: str | None,
                         low_inclusive: bool = True,
                         high_inclusive: bool = True
@@ -304,44 +419,40 @@ class ValueContainer:
                     assert self._codec is not None
                     yield parent, self._codec.encode(value)
             return
-        assert self._codec is not None
-        if self._codec.properties.ineq:
-            yield from self._interval_compressed(
-                low, high, low_inclusive, high_inclusive)
-        else:
-            yield from self._interval_decompressing(
-                low, high, low_inclusive, high_inclusive)
+        start, end = self.interval_positions(
+            low, high, low_inclusive, high_inclusive)
+        for record in self._records[start:end]:
+            yield record.parent_id, record.compressed
 
-    def _interval_compressed(self, low, high, low_inclusive,
-                             high_inclusive):
+    def _positions_compressed(self, low, high, low_inclusive,
+                              high_inclusive):
+        """Slot range by bisecting compressed bytes; ``None`` when a
+        bound cannot be encoded under the source model (the caller
+        falls back to decompressing comparisons)."""
         codec = self._codec
         assert codec is not None
-        keys = [r.compressed for r in self._records]
+        keys = self._compressed_keys
+        if keys is None:
+            keys = [r.compressed for r in self._records]
+            self._compressed_keys = keys
         start = 0
         if low is not None:
             c_low = codec.try_encode(low)
             if c_low is None:
-                # The bound contains characters outside the source
-                # model; fall back to decompressing comparisons.
-                yield from self._interval_decompressing(
-                    low, high, low_inclusive, high_inclusive)
-                return
+                return None
             start = (bisect.bisect_left(keys, c_low) if low_inclusive
                      else bisect.bisect_right(keys, c_low))
         end = len(keys)
         if high is not None:
             c_high = codec.try_encode(high)
             if c_high is None:
-                yield from self._interval_decompressing(
-                    low, high, low_inclusive, high_inclusive)
-                return
+                return None
             end = (bisect.bisect_right(keys, c_high) if high_inclusive
                    else bisect.bisect_left(keys, c_high))
-        for record in self._records[start:end]:
-            yield record.parent_id, record.compressed
+        return start, end
 
-    def _interval_decompressing(self, low, high, low_inclusive,
-                                high_inclusive):
+    def _positions_decompressing(self, low, high, low_inclusive,
+                                 high_inclusive):
         codec = self._codec
         assert codec is not None
 
@@ -370,8 +481,7 @@ class ValueContainer:
             k_high = self._bound_key(high)
             end = (bisect.bisect_right(view, k_high) if high_inclusive
                    else bisect.bisect_left(view, k_high))
-        for record in self._records[start:end]:
-            yield record.parent_id, record.compressed
+        return start, end
 
     # -- accounting -----------------------------------------------------------
 

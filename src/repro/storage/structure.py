@@ -51,6 +51,7 @@ class StructureTree:
     def __init__(self):
         self._records: list[NodeRecord] = []
         self._index: BPlusTree | None = None
+        self._parents = None  # cached parent-id array (lazy)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -63,6 +64,7 @@ class StructureTree:
                 f"{len(self._records)}, got {record.node_id}")
         self._records.append(record)
         self._index = None  # invalidated; rebuilt lazily
+        self._parents = None
 
     def record(self, node_id: int) -> NodeRecord:
         """The record for ``node_id``; raises NodeNotFoundError."""
@@ -80,6 +82,20 @@ class StructureTree:
             self._index = BPlusTree.bulk_load(
                 ((r.node_id, r) for r in self._records))
         return self._index
+
+    def parent_array(self):
+        """int64 array of parent ids by node id (-1 at the root).
+
+        Cached until the next :meth:`add`; the batch engine's
+        vectorized ``Parent`` steps and ancestor climbs index it
+        directly instead of calling :meth:`parent_of` per node.
+        """
+        if self._parents is None:
+            import numpy as np
+            self._parents = np.fromiter(
+                (r.parent_id for r in self._records),
+                dtype=np.int64, count=len(self._records))
+        return self._parents
 
     # -- navigation primitives used by the physical operators -------------
 

@@ -1,0 +1,84 @@
+"""Smoke tests for the batch-vs-row benchmark (DESIGN.md §13).
+
+Speedup magnitudes are machine-dependent, so the committed gate runs
+with ``--min-speedup 0`` here; the real threshold is exercised in CI's
+perf-gate job and by the impossible-threshold failure case below.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.bench.batchbench import (
+    EXPERIMENT_BATCH,
+    EXPERIMENT_ENGINE,
+    EXPERIMENT_ROW,
+    GATED,
+    build_pipelines,
+    main,
+)
+
+
+def run(tmp_path, *argv):
+    trajectory = tmp_path / "BENCH_trajectory.json"
+    out = io.StringIO()
+    code = main(["--factor", "0.02", "--repeat", "3",
+                 "--trajectory", str(trajectory), *argv], out=out)
+    return code, out.getvalue(), trajectory
+
+
+class TestBatchbench:
+    def test_records_both_paths_and_passes(self, tmp_path):
+        code, output, trajectory = run(tmp_path, "--min-speedup", "0")
+        assert code == 0, output
+        assert "batchbench: PASS" in output
+        points = json.loads(
+            trajectory.read_text(encoding="utf-8"))["points"]
+        by_experiment = {}
+        for point in points:
+            by_experiment.setdefault(point["experiment"],
+                                     set()).add(point["query"])
+        assert set(GATED) <= by_experiment[EXPERIMENT_BATCH]
+        assert by_experiment[EXPERIMENT_BATCH] == \
+            by_experiment[EXPERIMENT_ROW]
+        assert by_experiment[EXPERIMENT_ENGINE] == {"Q1", "Q5"}
+        # enough samples per key for the compare gate's default
+        # min_samples=3
+        for experiment in (EXPERIMENT_BATCH, EXPERIMENT_ROW):
+            for query in by_experiment[experiment]:
+                samples = [p for p in points
+                           if p["experiment"] == experiment
+                           and p["query"] == query]
+                assert len(samples) >= 3
+
+    def test_row_and_batch_counts_agree(self):
+        from repro.storage.loader import load_document
+        from repro.xmark.generator import generate_xmark
+
+        repository = load_document(generate_xmark(factor=0.02,
+                                                  seed=42))
+        for name, build in build_pipelines(repository).items():
+            rows = sum(1 for _ in build())
+            batched = sum(len(b) for b in build().batches(1024))
+            assert rows == batched, name
+
+    def test_impossible_threshold_fails_gate(self, tmp_path):
+        code, output, _ = run(tmp_path, "--min-speedup", "1e9")
+        assert code == 1
+        assert "FAIL" in output
+
+    def test_gated_pipelines_touch_real_containers(self):
+        # The gate is only meaningful if the scans see data: pin that
+        # the XMark paths used by the benchmark resolve to non-empty
+        # containers at the benchmark's default scale.
+        from repro.bench.batchbench import ID_PATH, PRICE_PATH
+        from repro.storage.loader import load_document
+        from repro.xmark.generator import generate_xmark
+
+        repository = load_document(generate_xmark(factor=0.1,
+                                                  seed=42))
+        assert len(repository.container(ID_PATH)) > 0
+        assert len(repository.container(PRICE_PATH)) > 0

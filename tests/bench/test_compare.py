@@ -10,6 +10,7 @@ from repro.bench.compare import (
     group_points,
     main,
     median,
+    parse_requirement,
 )
 
 
@@ -222,3 +223,91 @@ class TestMainEntry:
             "--trajectory", str(tmp_path / "absent.json"))
         assert code == 1
         assert "recorded nothing" in output
+
+
+class TestParseRequirement:
+    def test_two_parts_defaults_ratio(self):
+        assert parse_requirement("exp:q1") == ("exp", "q1", 1.0)
+
+    def test_three_parts(self):
+        assert parse_requirement("exp:q1:5.0") == ("exp", "q1", 5.0)
+
+    @pytest.mark.parametrize("spec", ["bad", "a:b:c:d", "exp:q1:x",
+                                      "exp:q1:0", "exp:q1:-2"])
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_requirement(spec)
+
+
+class TestRequireImprovement:
+    """The batch-engine acceptance hook: a key must not merely avoid
+    regressing — it must beat the baseline by a required factor."""
+
+    def compare(self, current, baseline, requirements):
+        return compare_points(current, baseline,
+                              require_improvements=requirements)
+
+    def test_met_requirement_passes(self):
+        report = self.compare(points("q1", 0.1, 0.1, 0.1),
+                              points("q1", 1.0, 1.0, 1.0),
+                              [("smoke", "q1", 5.0)])
+        assert report.ok
+        assert report.errors == []
+
+    def test_unmet_ratio_fails_with_achieved_factor(self):
+        report = self.compare(points("q1", 0.5, 0.5, 0.5),
+                              points("q1", 1.0, 1.0, 1.0),
+                              [("smoke", "q1", 5.0)])
+        assert not report.ok
+        assert any("got 2.00x" in e for e in report.errors)
+
+    def test_default_ratio_requires_any_improvement(self):
+        report = self.compare(points("q1", 1.1, 1.1, 1.1),
+                              points("q1", 1.0, 1.0, 1.0),
+                              [("smoke", "q1", 1.0)])
+        assert not report.ok
+
+    def test_missing_current_key_fails(self):
+        report = self.compare(points("q1", 1.0, 1.0, 1.0),
+                              points("q1", 1.0, 1.0, 1.0),
+                              [("smoke", "absent", 1.0)])
+        assert not report.ok
+        assert any("no current points" in e for e in report.errors)
+
+    def test_missing_baseline_key_fails(self):
+        report = self.compare(points("q1", 1.0, 1.0, 1.0)
+                              + points("q2", 1.0, 1.0, 1.0),
+                              points("q1", 1.0, 1.0, 1.0),
+                              [("smoke", "q2", 1.0)])
+        assert not report.ok
+        assert any("no baseline points" in e for e in report.errors)
+
+    def test_insufficient_samples_fail_the_requirement(self):
+        # Unlike the regression gate (which shrugs at thin data), a
+        # required improvement must be *demonstrated* — too few
+        # samples is a failure, not a pass.
+        report = self.compare(points("q1", 0.1),
+                              points("q1", 1.0, 1.0, 1.0),
+                              [("smoke", "q1", 5.0)])
+        assert not report.ok
+        assert any("insufficient samples" in e for e in report.errors)
+
+    def test_cli_flag_end_to_end(self, tmp_path):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"points": points("q1", 1.0, 1.0, 1.0)}), encoding="utf-8")
+        fast = tmp_path / "fast.json"
+        fast.write_text(json.dumps(
+            {"points": points("q1", 0.1, 0.1, 0.1)}), encoding="utf-8")
+        import io
+        out = io.StringIO()
+        code = main(["--baseline", str(baseline),
+                     "--trajectory", str(fast),
+                     "--require-improvement", "smoke:q1:5.0"], out=out)
+        assert code == 0
+        out = io.StringIO()
+        code = main(["--baseline", str(baseline),
+                     "--trajectory", str(fast),
+                     "--require-improvement", "smoke:q1:50.0"], out=out)
+        assert code == 1
+        assert "required improvement" in out.getvalue()

@@ -44,7 +44,7 @@ class TestOperatorInvariants:
                     raise NotImplementedError
 
             class Sneaky(Operator):
-                def _rows(self):
+                def _batches(self, size):
                     return iter(())
 
                 def __iter__(self):
@@ -52,6 +52,22 @@ class TestOperatorInvariants:
             """)
         assert rules_of(lint_paths([tmp_path])) == \
             ["src.operator-iter-override"]
+
+    def test_rows_only_operator_reported(self, tmp_path):
+        """The deprecated row-pull protocol gets the Tier-B warning."""
+        write(tmp_path, "ops.py", """\
+            class Operator:
+                def _rows(self):
+                    raise NotImplementedError
+
+            class Legacy(Operator):
+                def _rows(self):
+                    return iter(())
+            """)
+        diagnostics = lint_paths([tmp_path])
+        assert rules_of(diagnostics) == ["src.operator-rows-no-batches"]
+        assert diagnostics[0].severity == "warning"
+        assert "Legacy" in diagnostics[0].message
 
     def test_conforming_operator_is_clean(self, tmp_path):
         write(tmp_path, "ops.py", """\
@@ -61,6 +77,13 @@ class TestOperatorInvariants:
 
             class Fine(Operator):
                 def _rows(self):
+                    return iter(())
+
+                def _batches(self, size):
+                    return self._compat_batches(size)
+
+            class BatchOnly(Operator):
+                def _batches(self, size):
                     return iter(())
             """)
         assert lint_paths([tmp_path]) == []
@@ -121,7 +144,7 @@ class TestRawDecode:
                     raise NotImplementedError
 
             class Leaky(Operator):
-                def _rows(self):
+                def _batches(self, size):
                     yield {"v": self._codec.decode(b"x")}
             """)
         diagnostics = lint_paths([tmp_path])
@@ -135,11 +158,11 @@ class TestRawDecode:
                     raise NotImplementedError
 
             class Decompress(Operator):
-                def _rows(self):
+                def _batches(self, size):
                     yield {"v": self._codec.decode(b"x")}
 
             class TextContent(Operator):
-                def _rows(self):
+                def _batches(self, size):
                     yield {"v": self._codec.decode(b"x")}
             """)
         assert lint_paths([tmp_path]) == []
@@ -151,7 +174,7 @@ class TestRawDecode:
                     raise NotImplementedError
 
             class Container(Operator):
-                def _rows(self):
+                def _batches(self, size):
                     yield self._codec.decode(b"x")
             """)
         assert lint_paths([tmp_path]) == []

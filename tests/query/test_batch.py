@@ -1,0 +1,506 @@
+"""Unit tests for the batch-pull operator protocol (DESIGN.md §13).
+
+``RecordBatch``/column semantics, the ``batches()``/``_rows()`` compat
+contract on ``Operator``, per-batch telemetry attribution and the
+per-operator batch-vs-row parity that backs the differential suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.obs import runtime
+from repro.obs.telemetry import Telemetry
+from repro.query.batch import (
+    DEFAULT_BATCH_SIZE,
+    ItemColumn,
+    NodeColumn,
+    RecordBatch,
+    ValueColumn,
+    batches_from_rows,
+    rows_of_batches,
+)
+from repro.query.context import EvaluationStats, NodeItem
+from repro.query.physical import (
+    AttributeContent,
+    ContAccess,
+    ContScan,
+    Decompress,
+    Descendant,
+    Distinct,
+    HashJoin,
+    MergeJoin,
+    Operator,
+    Parent,
+    Project,
+    Select,
+    Sort,
+    StructureSummaryAccess,
+    TextContent,
+)
+from repro.storage.loader import load_document
+
+DOC = """
+<site>
+  <people>
+    <person id="p0"><name>Carol</name><age>45</age></person>
+    <person id="p1"><name>Alice</name><age>31</age></person>
+    <person id="p2"><name>Bob</name><age>27</age></person>
+    <person id="p3"><name>Dave</name><age>31</age></person>
+  </people>
+  <sales>
+    <sale buyer="p1"><total>10.5</total></sale>
+    <sale buyer="p0"><total>20.25</total></sale>
+    <sale buyer="p1"><total>7.75</total></sale>
+  </sales>
+</site>
+"""
+
+NAME_PATH = "/site/people/person/name/#text"
+AGE_PATH = "/site/people/person/age/#text"
+ID_PATH = "/site/people/person/@id"
+
+SIZES = (1, 2, 7, 1024)
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return load_document(DOC)
+
+
+# -- RecordBatch / column semantics -------------------------------------------
+
+class TestRecordBatch:
+    ROWS = [{"k": 1, "v": "a"}, {"k": 2, "v": "b"}, {"k": 1, "v": "c"}]
+
+    def test_from_rows_to_rows_roundtrip(self):
+        batch = RecordBatch.from_rows(self.ROWS)
+        assert list(batch.to_rows()) == self.ROWS
+        assert len(batch) == batch.raw_length == 3
+
+    def test_from_rows_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RecordBatch.from_rows([])
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RecordBatch({"a": ItemColumn([1, 2]),
+                         "b": ItemColumn([1])})
+
+    def test_filter_is_lazy_and_ands_masks(self):
+        batch = RecordBatch.from_rows(self.ROWS)
+        once = batch.filter(np.array([True, True, False]))
+        assert once.raw_length == 3 and len(once) == 2
+        twice = once.filter(np.array([False, True, True]))
+        # raw rows survive; only the conjunction is valid.
+        assert twice.raw_length == 3 and len(twice) == 1
+        assert [r["v"] for r in twice.to_rows()] == ["b"]
+
+    def test_compact_materializes_and_drops_mask(self):
+        batch = RecordBatch.from_rows(self.ROWS).filter(
+            np.array([True, False, True]))
+        compacted = batch.compact()
+        assert compacted.validity is None
+        assert compacted.raw_length == 2
+        assert [r["v"] for r in compacted.to_rows()] == ["a", "c"]
+
+    def test_take_counts_valid_rows_only(self):
+        batch = RecordBatch.from_rows(self.ROWS).filter(
+            np.array([False, True, True]))
+        taken = batch.take(np.array([1, 0, 1]))
+        assert [r["v"] for r in taken.to_rows()] == ["c", "b", "c"]
+
+    def test_slice_clamps(self):
+        batch = RecordBatch.from_rows(self.ROWS)
+        assert [r["v"] for r in batch.slice(1, 99).to_rows()] == \
+            ["b", "c"]
+        assert len(batch.slice(3, 5)) == 0
+
+    def test_with_column_requires_compacted(self):
+        batch = RecordBatch.from_rows(self.ROWS).filter(
+            np.array([True, True, False]))
+        with pytest.raises(ValueError):
+            batch.with_column("x", ItemColumn([1, 2, 3]))
+        grown = batch.compact().with_column("x", ItemColumn([7, 8]))
+        assert [r["x"] for r in grown.to_rows()] == [7, 8]
+
+    def test_merged_with_is_dict_merge(self):
+        left = RecordBatch.from_rows([{"a": 1, "s": "l"}])
+        right = RecordBatch.from_rows([{"b": 2, "s": "r"}])
+        merged = left.merged_with(right)
+        assert list(merged.to_rows()) == [{"a": 1, "s": "r", "b": 2}]
+
+    def test_project_preserves_validity_and_raises_on_missing(self):
+        batch = RecordBatch.from_rows(self.ROWS).filter(
+            np.array([True, False, True]))
+        projected = batch.project(["v"])
+        assert [r for r in projected.to_rows()] == \
+            [{"v": "a"}, {"v": "c"}]
+        with pytest.raises(KeyError):
+            batch.project(["ghost"])
+
+    def test_concat_mixed_column_kinds_falls_back_to_items(self, repo):
+        container = repo.container(NAME_PATH)
+        value = RecordBatch(
+            {"v": ValueColumn(container, np.array([0, 1]))})
+        items = RecordBatch(
+            {"v": ItemColumn(["x"])})
+        merged = RecordBatch.concat([value, items])
+        assert merged.raw_length == 3
+        assert isinstance(merged.column("v"), ItemColumn)
+
+    def test_batches_from_rows_roundtrip_all_sizes(self):
+        rows = [{"i": i} for i in range(11)]
+        for size in SIZES:
+            batches = list(batches_from_rows(iter(rows), size))
+            assert all(len(b) <= size for b in batches)
+            assert list(rows_of_batches(iter(batches))) == rows
+
+
+class TestColumns:
+    def test_node_column_items(self):
+        column = NodeColumn(np.array([3, 1]), doc="d.xml")
+        assert column.item_at(0) == NodeItem(3, "d.xml")
+        assert column.to_items() == [NodeItem(3, "d.xml"),
+                                     NodeItem(1, "d.xml")]
+
+    def test_value_column_items_match_scalar_records(self, repo):
+        container = repo.container(NAME_PATH)
+        column = ValueColumn(container, np.array([2, 0]))
+        codec = container.codec
+        decoded = [codec.decode(item.compressed)
+                   for item in column.to_items()]
+        records = container.as_arrays().records
+        assert decoded == [codec.decode(records[2].compressed),
+                           codec.decode(records[0].compressed)]
+
+    def test_value_column_interval_mask_is_positional(self, repo):
+        container = repo.container(NAME_PATH)
+        column = ValueColumn(container, np.array([0, 3, 1, 2]))
+        mask = column.interval_mask(1, 3)
+        assert mask.tolist() == [False, False, True, True]
+
+    def test_value_column_concat_rejects_mixed_containers(self, repo):
+        left = ValueColumn(repo.container(NAME_PATH), np.array([0]))
+        right = ValueColumn(repo.container(ID_PATH), np.array([0]))
+        with pytest.raises(ValueError):
+            ValueColumn.concat([left, right])
+
+
+# -- Operator protocol compat --------------------------------------------------
+
+class _RowsOnly(Operator):
+    def __init__(self, rows):
+        self._source = rows
+
+    def _rows(self):
+        return iter(self._source)
+
+
+class _BatchesOnly(Operator):
+    def __init__(self, rows):
+        self._source = rows
+
+    def _batches(self, size):
+        return batches_from_rows(iter(self._source), size)
+
+
+class _Neither(Operator):
+    pass
+
+
+class TestOperatorProtocol:
+    ROWS = [{"i": i} for i in range(5)]
+
+    def test_rows_only_operator_batches_with_deprecation(self):
+        op = _RowsOnly(self.ROWS)
+        with pytest.warns(DeprecationWarning, match="_RowsOnly"):
+            batches = list(op.batches(2))
+        assert list(rows_of_batches(iter(batches))) == self.ROWS
+
+    def test_batches_only_operator_iterates_as_rows(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert _BatchesOnly(self.ROWS).rows() == self.ROWS
+
+    def test_compat_batches_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            batches = list(_RowsOnly(self.ROWS)._compat_batches(2))
+        assert list(rows_of_batches(iter(batches))) == self.ROWS
+
+    def test_neither_protocol_raises(self):
+        with pytest.raises(NotImplementedError):
+            list(_Neither().batches())
+        with pytest.raises(NotImplementedError):
+            list(_Neither())
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            _BatchesOnly(self.ROWS).batches(0)
+
+    def test_default_batch_size(self):
+        batches = list(_BatchesOnly(
+            [{"i": i} for i in range(DEFAULT_BATCH_SIZE + 1)]).batches())
+        assert [b.raw_length for b in batches] == \
+            [DEFAULT_BATCH_SIZE, 1]
+
+
+# -- telemetry attribution -----------------------------------------------------
+
+class TestBatchTelemetry:
+    def test_batch_path_reports_same_row_counts_plus_batches(self, repo):
+        row_t = Telemetry(enabled=True)
+        with runtime.activated(row_t):
+            rows = list(ContScan(repo, NAME_PATH, "id", "v"))
+        batch_t = Telemetry(enabled=True)
+        with runtime.activated(batch_t):
+            batches = list(
+                ContScan(repo, NAME_PATH, "id", "v").batches(2))
+        row_counters = row_t.metrics.counters()
+        batch_counters = batch_t.metrics.counters()
+        assert row_counters["op.ContScan.rows"] == len(rows) == 4
+        assert batch_counters["op.ContScan.rows"] == 4
+        assert batch_counters["op.ContScan.batches"] == len(batches) == 2
+        # identical span series: EXPLAIN ANALYZE reads either run.
+        assert "ContScan" in batch_t.operator_profile()
+
+    def test_batch_path_mirrors_container_access_counters(self, repo):
+        row_t = Telemetry(enabled=True)
+        with runtime.activated(row_t):
+            list(ContScan(repo, NAME_PATH, "id", "v"))
+        batch_t = Telemetry(enabled=True)
+        with runtime.activated(batch_t):
+            list(ContScan(repo, NAME_PATH, "id", "v").batches(2))
+        key = "container.scans"
+        assert batch_t.metrics.counters().get(key) == \
+            row_t.metrics.counters().get(key) == 1
+
+
+# -- per-operator batch-vs-row parity -----------------------------------------
+
+def _decode_all(rows, repo):
+    """Canonical form of an output row list for comparison."""
+    stats = EvaluationStats()
+    out = []
+    for row in rows:
+        canonical = {}
+        for name, value in row.items():
+            if hasattr(value, "decode") and hasattr(value, "compressed"):
+                canonical[name] = value.decode(stats)
+            else:
+                canonical[name] = value
+        out.append(canonical)
+    return out
+
+
+def _parity(build, repo):
+    """Assert rows() == flattened batches() at every tested size."""
+    expected = _decode_all(build().rows(), repo)
+    for size in SIZES:
+        got = _decode_all(rows_of_batches(build().batches(size)), repo)
+        assert got == expected, f"batch size {size} diverged"
+    return expected
+
+
+class TestOperatorParity:
+    def test_cont_scan(self, repo):
+        out = _parity(
+            lambda: ContScan(repo, NAME_PATH, "id", "v"), repo)
+        assert [r["v"] for r in out] == \
+            ["Alice", "Bob", "Carol", "Dave"]
+
+    def test_cont_access_string_interval(self, repo):
+        out = _parity(
+            lambda: ContAccess(repo, NAME_PATH, "id", "v",
+                               low="Alice", high="Carol"), repo)
+        assert [r["v"] for r in out] == ["Alice", "Bob", "Carol"]
+
+    def test_cont_access_numeric_interval(self, repo):
+        out = _parity(
+            lambda: ContAccess(repo, AGE_PATH, "id", "v",
+                               low=28, high=50), repo)
+        assert [r["v"] for r in out] == ["31", "31", "45"]
+
+    def test_structure_summary_access(self, repo):
+        _parity(lambda: StructureSummaryAccess(
+            repo, [("descendant", "person")], "n"), repo)
+
+    def test_parent(self, repo):
+        def build():
+            persons = StructureSummaryAccess(
+                repo, [("descendant", "person")], "n")
+            return Parent(persons, repo, "n", "up")
+        out = _parity(build, repo)
+        assert {repo.tag_of(r["up"].node_id) for r in out} == {"people"}
+
+    def test_parent_drops_root_in_batches(self, repo):
+        for size in SIZES:
+            rows = list(rows_of_batches(
+                Parent([{"n": NodeItem(0)}], repo, "n", "up")
+                .batches(size)))
+            assert rows == []
+
+    def test_descendant(self, repo):
+        _parity(lambda: Descendant([{"n": NodeItem(0)}], repo,
+                                   "n", "d", tag="total"), repo)
+
+    def test_text_content(self, repo):
+        def build():
+            persons = StructureSummaryAccess(
+                repo, [("descendant", "name")], "n")
+            return TextContent(persons, repo, "n", "text", NAME_PATH)
+        out = _parity(build, repo)
+        assert sorted(r["text"] for r in out) == \
+            ["Alice", "Bob", "Carol", "Dave"]
+
+    def test_attribute_content(self, repo):
+        def build():
+            persons = StructureSummaryAccess(
+                repo, [("descendant", "person")], "n")
+            return AttributeContent(persons, repo, "n", "id", ID_PATH)
+        _parity(build, repo)
+
+    def test_select_row_predicate(self, repo):
+        rows = [{"k": i % 3} for i in range(10)]
+        _parity(lambda: Select(list(rows), lambda r: r["k"] == 1), repo)
+
+    def test_select_vectorized_interval(self, repo):
+        container = repo.container(NAME_PATH)
+        bounds = container.interval_positions(
+            "Alice", "Bob", True, True)
+
+        def build():
+            scan = ContScan(repo, NAME_PATH, "id", "v")
+            return Select(scan,
+                          lambda r: "Alice" <= r["v"].decode(
+                              EvaluationStats()) <= "Bob",
+                          column="v", predicate_kind="ineq",
+                          interval=("Alice", "Bob", True, True))
+        out = _parity(build, repo)
+        assert [r["v"] for r in out] == ["Alice", "Bob"]
+        assert bounds == (0, 2)
+
+    def test_project(self, repo):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        _parity(lambda: Project(list(rows), ["b"]), repo)
+
+    def test_hash_join(self, repo):
+        left = [{"l": i} for i in (1, 2, 3, 2)]
+        right = [{"r": 2, "t": "x"}, {"r": 2, "t": "y"}, {"r": 3, "t": "z"}]
+        _parity(lambda: HashJoin(list(left), list(right),
+                                 lambda r: r["l"], lambda r: r["r"]),
+                repo)
+
+    def test_merge_join_duplicate_runs(self, repo):
+        left = [{"l": k} for k in (1, 2, 2, 5, 5, 5)]
+        right = [{"r": k, "i": i}
+                 for i, k in enumerate((2, 2, 5, 7))]
+        out = _parity(lambda: MergeJoin(
+            list(left), list(right),
+            lambda r: r["l"], lambda r: r["r"]), repo)
+        assert len(out) == 2 * 2 + 3 * 1
+
+    def test_merge_join_run_spanning_batches(self, repo):
+        # equal-key runs longer than the batch size must be stitched.
+        left = [{"l": 4}] * 9 + [{"l": 6}]
+        right = [{"r": 4, "i": i} for i in range(5)] + [{"r": 6, "i": 9}]
+        out = _parity(lambda: MergeJoin(
+            list(left), list(right),
+            lambda r: r["l"], lambda r: r["r"]), repo)
+        assert len(out) == 9 * 5 + 1
+
+    def test_distinct(self, repo):
+        rows = [{"k": i % 4} for i in range(13)]
+        _parity(lambda: Distinct(list(rows), lambda r: r["k"]), repo)
+
+    def test_sort(self, repo):
+        rows = [{"k": i} for i in (5, 2, 9, 1)]
+        _parity(lambda: Sort(list(rows), lambda r: r["k"]), repo)
+
+    def test_decompress(self, repo):
+        def build():
+            scan = ContScan(repo, NAME_PATH, "id", "v")
+            return Decompress(scan, ["v"], EvaluationStats())
+        out = _parity(build, repo)
+        assert [r["v"] for r in out] == \
+            ["Alice", "Bob", "Carol", "Dave"]
+
+
+class TestMergeJoinStreaming:
+    """Satellite: MergeJoin must not materialize both inputs."""
+
+    @staticmethod
+    def _tracking(rows):
+        state = {"pulled": 0}
+
+        def gen():
+            for row in rows:
+                state["pulled"] += 1
+                yield row
+        return gen(), state
+
+    def test_row_path_streams_probe_side(self):
+        total = 10_000
+        left, state = self._tracking(
+            {"l": i} for i in range(total))
+        right = [{"r": i} for i in range(0, total, 500)]
+        join = iter(MergeJoin(left, right,
+                              lambda r: r["l"], lambda r: r["r"]))
+        first = next(join)
+        assert first["r"] == first["l"] == 0
+        # the probe side was pulled on demand, not list()-ed.
+        assert state["pulled"] < total // 10
+
+    def test_batch_path_streams_both_sides(self):
+        total = 10_000
+        left, lstate = self._tracking(
+            {"l": i} for i in range(total))
+        right, rstate = self._tracking(
+            {"r": i} for i in range(total))
+        join = MergeJoin(left, right,
+                         lambda r: r["l"], lambda r: r["r"])
+        first_batch = next(join.batches(64))
+        assert len(first_batch) > 0
+        assert lstate["pulled"] < total // 10
+        assert rstate["pulled"] < total // 10
+
+    def test_full_equijoin_result_matches(self):
+        left = [{"l": i // 2} for i in range(10)]
+        right = [{"r": i} for i in range(5)]
+        row_out = [(r["l"], r["r"]) for r in
+                   MergeJoin(list(left), list(right),
+                             lambda r: r["l"], lambda r: r["r"]).rows()]
+        batch_out = [(r["l"], r["r"]) for r in rows_of_batches(
+            MergeJoin(list(left), list(right),
+                      lambda r: r["l"], lambda r: r["r"]).batches(3))]
+        assert batch_out == row_out
+        assert len(row_out) == 10
+
+
+class TestBlobFallback:
+    def test_blob_container_scan_falls_back_to_rows(self):
+        doc = "<r>" + "".join(
+            f"<t>{'x' * (i + 1)}</t>" for i in range(5)) + "</r>"
+        repo = load_document(doc, default_string_codec="zlib")
+        path = "/r/t/#text"
+        container = repo.container(path)
+        if not container.is_blob:
+            pytest.skip("loader does not build blob containers here")
+        assert container.as_arrays().records is None
+        rows = list(rows_of_batches(
+            ContScan(repo, path, "id", "v").batches(2)))
+        assert len(rows) == 5
+
+    def test_value_column_rejects_blob(self):
+        doc = "<r><t>aa</t><t>bb</t></r>"
+        repo = load_document(doc, default_string_codec="zlib")
+        container = repo.container("/r/t/#text")
+        if not container.is_blob:
+            pytest.skip("loader does not build blob containers here")
+        with pytest.raises(ValueError):
+            ValueColumn(container, np.array([0]))

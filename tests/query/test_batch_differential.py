@@ -1,0 +1,106 @@
+"""Differential suite: batch-vs-row parity across the query surface.
+
+The batch execution engine must be observationally identical to the
+legacy row path: every XMark benchmark query runs at batch sizes
+{1, 2, 7, 1024} (1 = legacy row path; 2 and 7 stress batch-boundary
+handling; 1024 is the default) and must produce byte-identical
+serialized results *and* identical Tier-A plan-verifier diagnostics.
+The `repro verify` engine oracle runs the same way — the compressed
+path pinned to each width against the decompress-first reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.engine import QueryEngine
+from repro.query.options import ExecutionOptions
+from repro.service.session import Database, Session
+from repro.storage.loader import load_document
+from repro.verify.engine_oracle import run_engine_oracle
+from repro.xmark.generator import generate_xmark
+from repro.xmark.queries import XMARK_QUERIES, query_text
+
+SIZES = (1, 2, 7, 1024)
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return load_document(generate_xmark(factor=0.02, seed=7))
+
+
+def _run(repo, query: str, batch_size: int):
+    engine = QueryEngine(repo)
+    result = engine.execute(
+        query, ExecutionOptions(batch_size=batch_size))
+    diagnostics = [d.to_dict() for d in result.telemetry.diagnostics]
+    return result.to_xml(), diagnostics
+
+
+class TestXMarkBatchParity:
+    @pytest.mark.parametrize("query_id", sorted(XMARK_QUERIES))
+    def test_identical_results_at_every_batch_size(self, repo,
+                                                   query_id):
+        query = query_text(query_id)
+        row_xml, row_diagnostics = _run(repo, query, batch_size=1)
+        for size in SIZES[1:]:
+            xml, diagnostics = _run(repo, query, batch_size=size)
+            assert xml == row_xml, \
+                f"{query_id} diverged at batch size {size}"
+            assert diagnostics == row_diagnostics, \
+                f"{query_id} Tier-A diagnostics changed at size {size}"
+
+
+class TestSessionBatchSizeThreading:
+    DOC = ("<r><p><v>5</v></p><p><v>11</v></p><p><v>2</v></p>"
+           "<p><v>7</v></p></r>")
+    QUERY = ("for $p in /r/p where $p/v/text() >= 5 "
+             "return $p/v/text()")
+
+    def test_session_default_applies(self):
+        repo = load_document(self.DOC)
+        expected = Session(repo).execute(self.QUERY).to_xml()
+        for size in SIZES:
+            session = Session(repo, batch_size=size)
+            assert session.execute(self.QUERY).to_xml() == expected
+
+    def test_options_override_session_default(self):
+        repo = load_document(self.DOC)
+        session = Session(repo, batch_size=1024)
+        row = session.execute(
+            self.QUERY, ExecutionOptions(batch_size=1))
+        assert row.to_xml() == Session(repo).execute(
+            self.QUERY).to_xml()
+
+    def test_database_default_reaches_sessions(self):
+        repo = load_document(self.DOC)
+        database = Database(repo, batch_size=7)
+        with database.session() as session:
+            assert session.batch_size == 7
+            assert session.execute(self.QUERY).to_xml() == \
+                Session(repo).execute(self.QUERY).to_xml()
+
+    def test_prepared_query_inherits_session_default(self):
+        repo = load_document(self.DOC)
+        session = Session(repo, batch_size=2)
+        prepared = session.prepare(self.QUERY)
+        assert prepared.run().to_xml() == \
+            Session(repo).execute(self.QUERY).to_xml()
+
+    def test_invalid_batch_size_rejected(self):
+        repo = load_document(self.DOC)
+        with pytest.raises(ValueError):
+            Session(repo, batch_size=0)
+        with pytest.raises(ValueError):
+            ExecutionOptions(batch_size=-3)
+
+
+class TestEngineOracleAtBatchSizes:
+    """`repro verify`'s engine oracle, pinned to each batch width."""
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 7, 1024])
+    def test_oracle_green(self, batch_size):
+        report = run_engine_oracle(seed=3, docs=2, queries=6, scale=4,
+                                   batch_size=batch_size)
+        assert report.ok, report.render_text()
+        assert report.checks_run > 0
