@@ -1,0 +1,181 @@
+"""Load generator for the sharded serving plane.
+
+Drives a :class:`~repro.service.shards.ShardedDatabase` with ``C``
+concurrent clients replaying a query mix for ``R`` rounds, then
+reports the serving numbers that matter operationally: p50/p99
+end-to-end latency, sustained QPS, the cross-shard share of the mix,
+and the compressed-vs-plain shipped-bytes ratio (the paper's §1
+network claim measured on a live wire).
+
+One summary point lands in ``BENCH_trajectory.json`` per run (the
+p50/p99/QPS tuple rides in the point's ``rolling`` attachment, the
+shipped-bytes ratio in ``compressed_ratio``), so shard-serving
+throughput regressions kink the same trajectory the single-process
+benchmarks draw.
+
+``python -m repro.bench.loadgen`` runs a bounded self-contained smoke
+(tiny XMark, 2 shards) — also the CI ``shard-serving-smoke`` payload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bench.trajectory import record_point
+from repro.errors import AdmissionError
+from repro.util.clock import elapsed_ns, now_ns
+
+#: how often a rejected query retries, and for how long, before the
+#: load generator counts it as shed.
+_RETRY_SLEEP_S = 0.002
+_RETRY_LIMIT = 200
+
+#: guards the shared report counters and the latency list while the
+#: client threads are running.
+_REPORT_LOCK = threading.Lock()
+
+
+@dataclass
+class LoadgenReport:
+    """What one load-generator run measured."""
+
+    completed: int = 0
+    errors: int = 0
+    shed: int = 0
+    admission_rejects: int = 0
+    wall_s: float = 0.0
+    qps: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    cross_shard_queries: int = 0
+    shipped_bytes_ratio: float | None = None
+    wire_bytes: int = 0
+    plain_bytes: int = 0
+    routed_by_shard: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "errors": self.errors,
+            "shed": self.shed,
+            "admission_rejects": self.admission_rejects,
+            "wall_s": round(self.wall_s, 4),
+            "qps": round(self.qps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "cross_shard_queries": self.cross_shard_queries,
+            "shipped_bytes_ratio":
+                None if self.shipped_bytes_ratio is None
+                else round(self.shipped_bytes_ratio, 4),
+            "wire_bytes": self.wire_bytes,
+            "plain_bytes": self.plain_bytes,
+            "routed_by_shard": {str(shard): count for shard, count
+                                in sorted(self.routed_by_shard
+                                          .items())},
+        }
+
+
+def _percentile(sorted_ms: list[float], q: float) -> float:
+    """Nearest-rank percentile over a sorted sample ([] -> 0)."""
+    if not sorted_ms:
+        return 0.0
+    rank = min(int(q * len(sorted_ms)), len(sorted_ms) - 1)
+    return sorted_ms[rank]
+
+
+def run_loadgen(database, queries: Sequence[str], *,
+                rounds: int = 3, clients: int = 4,
+                experiment: str = "shard-loadgen",
+                trajectory_path=None,
+                record: bool = True) -> LoadgenReport:
+    """Replay ``queries`` ``rounds`` times from ``clients`` threads.
+
+    Each thread is its own admission-control client
+    (``loadgen-<i>``), so per-client quotas are exercised for real.
+    An admission reject backs off and retries (bounded); a query that
+    never gets admitted counts as *shed*, a worker-side failure as an
+    *error* — neither aborts the run.
+    """
+    work: deque[str] = deque()
+    for _ in range(max(rounds, 1)):
+        work.extend(queries)
+    latencies_ms: list[float] = []
+    report = LoadgenReport()
+    lock = _REPORT_LOCK
+
+    def client_loop(client_id: str) -> None:
+        while True:
+            try:
+                query = work.popleft()
+            except IndexError:
+                return
+            start_ns = now_ns()
+            attempts = 0
+            while True:
+                try:
+                    database.execute(query, client=client_id)
+                except AdmissionError:
+                    attempts += 1
+                    with lock:
+                        report.admission_rejects += 1
+                    if attempts >= _RETRY_LIMIT:
+                        with lock:
+                            report.shed += 1
+                        break
+                    time.sleep(_RETRY_SLEEP_S)
+                    continue
+                except Exception:  # noqa: BLE001 - keep the run alive
+                    with lock:
+                        report.errors += 1
+                    break
+                wall_ms = elapsed_ns(start_ns) / 1e6
+                with lock:
+                    report.completed += 1
+                    latencies_ms.append(wall_ms)
+                break
+
+    count = max(clients, 1)
+    run_start_ns = now_ns()
+    with ThreadPoolExecutor(max_workers=count,
+                            thread_name_prefix="loadgen") as pool:
+        list(pool.map(client_loop,
+                      [f"loadgen-{i}" for i in range(count)]))
+    report.wall_s = elapsed_ns(run_start_ns) / 1e9
+    if report.wall_s > 0:
+        report.qps = report.completed / report.wall_s
+    latencies_ms.sort()
+    report.p50_ms = _percentile(latencies_ms, 0.50)
+    report.p99_ms = _percentile(latencies_ms, 0.99)
+
+    counters = database.metrics.counters()
+    report.cross_shard_queries = counters.get(
+        "coordinator.cross_shard_queries", 0)
+    report.wire_bytes = counters.get("shipping.wire_bytes", 0)
+    report.plain_bytes = counters.get("shipping.plain_bytes", 0)
+    report.shipped_bytes_ratio = database.shipped_bytes_ratio()
+    for shard in range(database.shard_count):
+        routed = counters.get(f"shard.{shard}.routed", 0)
+        if routed:
+            report.routed_by_shard[shard] = routed
+
+    if record:
+        record_point(
+            query=f"loadgen[{len(queries)}q x{rounds} "
+                  f"c{clients} s{database.shard_count}]",
+            wall_ns=int(report.p50_ms * 1e6),
+            compressed_ratio=report.shipped_bytes_ratio,
+            experiment=experiment,
+            items=report.completed,
+            path=trajectory_path,
+            rolling={"p50_ms": round(report.p50_ms, 3),
+                     "p99_ms": round(report.p99_ms, 3),
+                     "qps": round(report.qps, 2),
+                     "shards": database.shard_count,
+                     "clients": clients,
+                     "cross_shard": report.cross_shard_queries})
+    return report

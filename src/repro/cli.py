@@ -13,6 +13,12 @@ Commands mirror how the paper's system is used:
 * ``top``        — live serving console: QPS, rolling latency
   percentiles, cache hit rates, latest slow queries — over an
   in-process repository or a scraped ``/metrics`` endpoint;
+* ``serve``      — sharded multi-process serving plane: fork N
+  workers partitioned by structure-summary subtree, expose the
+  coordinator's ``/metrics`` endpoint, run until interrupted;
+* ``loadgen``    — drive a sharded serving plane with concurrent
+  clients and report p50/p99 latency, QPS and the
+  compressed-vs-plain shipped-bytes ratio;
 * ``bench``      — benchmark trajectory tools; ``bench compare`` is
   the noise-aware perf-regression gate CI runs;
 * ``stats``      — storage occupancy breakdown of a repository;
@@ -32,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 
 from repro.core.system import XQueCSystem
@@ -44,6 +51,10 @@ from repro.service.session import Session
 from repro.storage.loader import load_document
 from repro.storage.serialization import load_repository, save_repository
 from repro.xmark.generator import generate_xmark
+
+#: set by SIGINT/SIGTERM to stop a running ``repro serve`` loop; a
+#: module constant so the Tier-C inventory and watchdog can see it.
+_SERVE_STOP = threading.Event()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -183,6 +194,59 @@ def build_parser() -> argparse.ArgumentParser:
                      help="local mode: slow-query threshold in ms "
                           "(default 100)")
 
+    serve = commands.add_parser(
+        "serve",
+        help="sharded multi-process serving plane over a repository")
+    serve.add_argument("repository", type=Path)
+    serve.add_argument("--shards", type=int, default=2,
+                       help="worker processes to fork (default 2)")
+    serve.add_argument("--queries-file", type=Path, default=None,
+                       help="file with one query per line driving "
+                            "the subtree shard placement")
+    serve.add_argument("--port", type=int, default=9464,
+                       help="telemetry endpoint port (default 9464; "
+                            "0 picks an ephemeral port)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="admission control: global in-flight "
+                            "query limit (default 64)")
+    serve.add_argument("--per-client", type=int, default=8,
+                       help="admission control: per-client in-flight "
+                            "quota (default 8)")
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a sharded serving plane and report p50/p99 "
+             "latency, QPS and the shipped-bytes ratio")
+    loadgen.add_argument("repository", type=Path)
+    loadgen.add_argument("--query", action="append", default=None,
+                         help="a query in the mix (repeatable)")
+    loadgen.add_argument("--queries-file", type=Path, default=None,
+                         help="file with one query per line")
+    loadgen.add_argument("--xmark", action="store_true",
+                         help="use the built-in XMark query set as "
+                              "the mix")
+    loadgen.add_argument("--shards", type=int, default=2,
+                         help="worker processes to fork (default 2)")
+    loadgen.add_argument("--rounds", type=int, default=3,
+                         help="times the mix is replayed (default 3)")
+    loadgen.add_argument("--clients", type=int, default=4,
+                         help="concurrent client threads (default 4)")
+    loadgen.add_argument("--max-inflight", type=int, default=64,
+                         help="admission control: global in-flight "
+                              "limit (default 64)")
+    loadgen.add_argument("--per-client", type=int, default=8,
+                         help="admission control: per-client quota "
+                              "(default 8)")
+    loadgen.add_argument("--trajectory", type=Path, default=None,
+                         help="trajectory JSON to append the summary "
+                              "point to (default: the repo-wide "
+                              "BENCH_trajectory.json)")
+    loadgen.add_argument("--no-record", action="store_true",
+                         help="do not write a trajectory point")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+
     bench = commands.add_parser(
         "bench", help="benchmark trajectory tools")
     bench_commands = bench.add_subparsers(dest="bench_command",
@@ -296,6 +360,8 @@ def main(argv: list[str] | None = None,
         "profile": _cmd_profile,
         "perf": _cmd_perf,
         "top": _cmd_top,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
@@ -487,6 +553,103 @@ def _cmd_top(args, out) -> int:
         return 1
     return run_top(source, out, interval=args.interval,
                    once=args.once)
+
+
+def _read_query_mix(args, out):
+    """The query list for serve/loadgen (None + message when empty)."""
+    queries = list(getattr(args, "query", None) or [])
+    if args.queries_file is not None:
+        queries.extend(
+            line.strip() for line in
+            args.queries_file.read_text(encoding="utf-8").splitlines()
+            if line.strip())
+    if getattr(args, "xmark", False):
+        from repro.xmark.queries import XMARK_QUERIES, query_text
+        queries.extend(query_text(qid) for qid in XMARK_QUERIES)
+    return queries
+
+
+def _cmd_serve(args, out) -> int:
+    import signal as signal_module
+
+    from repro.service.shards import (
+        AdmissionController,
+        ShardedDatabase,
+    )
+
+    repository = load_repository(args.repository)
+    queries = _read_query_mix(args, out)
+    admission = AdmissionController(max_inflight=args.max_inflight,
+                                    per_client=args.per_client)
+    database = ShardedDatabase(repository, shard_count=args.shards,
+                               queries=queries, admission=admission)
+    for shard in database.assignment.to_dict()["shards"]:
+        print(f"shard {shard['shard']}: "
+              f"{', '.join(shard['subtrees']) or '(hash overflow)'} "
+              f"(weight {shard['weight']})", file=out)
+    stop = _SERVE_STOP
+    stop.clear()
+
+    def _on_signal(signum, frame):  # noqa: ARG001
+        stop.set()
+
+    signal_module.signal(signal_module.SIGTERM, _on_signal)
+    signal_module.signal(signal_module.SIGINT, _on_signal)
+    with database:
+        server = database.serve_telemetry(port=args.port,
+                                          host=args.host)
+        print(f"serving {args.shards} shards; telemetry on "
+              f"http://{args.host}:{server.port}/metrics "
+              f"(SIGINT/SIGTERM stops)", file=out, flush=True)
+        while not stop.wait(1.0):
+            database.gather_metrics()
+    print("stopped", file=out)
+    return 0
+
+
+def _cmd_loadgen(args, out) -> int:
+    import json
+
+    from repro.bench.loadgen import run_loadgen
+    from repro.service.shards import (
+        AdmissionController,
+        ShardedDatabase,
+    )
+
+    queries = _read_query_mix(args, out)
+    if not queries:
+        print("error: loadgen needs --query, --queries-file or "
+              "--xmark", file=out)
+        return 1
+    repository = load_repository(args.repository)
+    admission = AdmissionController(max_inflight=args.max_inflight,
+                                    per_client=args.per_client)
+    with ShardedDatabase(repository, shard_count=args.shards,
+                         queries=queries,
+                         admission=admission) as database:
+        report = run_loadgen(database, queries, rounds=args.rounds,
+                             clients=args.clients,
+                             trajectory_path=args.trajectory,
+                             record=not args.no_record)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(f"completed {report.completed} queries "
+              f"({report.errors} errors, {report.shed} shed) in "
+              f"{report.wall_s:.2f}s — {report.qps:.1f} QPS", file=out)
+        print(f"latency p50 {report.p50_ms:.2f} ms, "
+              f"p99 {report.p99_ms:.2f} ms", file=out)
+        print(f"cross-shard queries: {report.cross_shard_queries}",
+              file=out)
+        ratio = report.shipped_bytes_ratio
+        print(f"shipped bytes: {report.wire_bytes} wire / "
+              f"{report.plain_bytes} plain "
+              f"(ratio {ratio:.3f})" if ratio is not None else
+              "shipped bytes: none recorded", file=out)
+        for shard, routed in sorted(report.routed_by_shard.items()):
+            print(f"shard {shard}: {routed} queries routed", file=out)
+    return 1 if report.errors else 0
 
 
 def _cmd_bench(args, out) -> int:

@@ -69,6 +69,20 @@ class ContainerNotFoundError(StorageError):
     """A container path that does not exist in the repository."""
 
 
+class ServiceError(XQueCError):
+    """Base class for serving-plane failures."""
+
+
+class AdmissionError(ServiceError):
+    """The coordinator refused a query: the serving plane is at its
+    global in-flight limit or the client exhausted its quota."""
+
+
+class ShardError(ServiceError):
+    """A shard worker failed, died mid-request, or returned a reply
+    the coordinator could not decode."""
+
+
 class QueryError(XQueCError):
     """Base class for query-processing failures."""
 

@@ -19,13 +19,24 @@ families* carrying the original name as a label:
   ``repro_window{name=...,quantile="p50|p95|p99"}``
   (rolling windows — the operational latency view)
 
+Per-shard metrics from the sharded serving plane arrive in the
+registry as ``shard.<i>.<name>`` (the coordinator's fold — see
+:meth:`repro.service.shards.ShardedDatabase.gather_metrics`); the
+renderer lifts the shard ordinal into its own label so one family
+carries every shard::
+
+* ``repro_counter{name="session.executions",shard="0"} 41``
+
 This keeps the mapping lossless and mechanical in both directions:
 :func:`parse_prometheus` reconstructs
 ``{counters, gauges, histograms, windows}`` dictionaries from the
-text, so a scraper sees exactly what an in-process reader sees.
+text (shard labels folded back into the dotted ``shard.<i>.`` form),
+so a scraper sees exactly what an in-process reader sees.
 """
 
 from __future__ import annotations
+
+import re
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -54,6 +65,29 @@ def _unescape_label(value: str) -> str:
     return "".join(out)
 
 
+#: coordinator-folded per-shard metric names: ``shard.<i>.<name>``.
+_SHARD_NAME = re.compile(r"^shard\.(\d+)\.(.+)$")
+
+
+def split_shard_name(name: str) -> tuple[str, str | None]:
+    """``shard.<i>.<rest>`` -> ``(rest, "<i>")``; others ``(name,
+    None)``.  (``shard.id``/``shard.pid`` have no inner name and stay
+    whole.)"""
+    match = _SHARD_NAME.match(name)
+    if match is None:
+        return name, None
+    return match.group(2), match.group(1)
+
+
+def _name_labels(name: str) -> str:
+    """The label set for one dotted metric name (shard lifted out)."""
+    base, shard = split_shard_name(name)
+    labels = f'name="{_escape_label(base)}"'
+    if shard is not None:
+        labels += f',shard="{shard}"'
+    return labels
+
+
 def _fmt(value: float) -> str:
     """A float rendered without noise (integers stay integral)."""
     if value != value:  # NaN
@@ -78,7 +112,7 @@ def render_prometheus(metrics: MetricsRegistry,
     counters = metrics.counters()
     lines.append("# TYPE repro_counter counter")
     for name, value in counters.items():
-        lines.append(f'repro_counter{{name="{_escape_label(name)}"}} '
+        lines.append(f'repro_counter{{{_name_labels(name)}}} '
                      f"{_fmt(value)}")
 
     gauges = dict(metrics.gauges())
@@ -86,7 +120,7 @@ def render_prometheus(metrics: MetricsRegistry,
         gauges.update(extra_gauges)
     lines.append("# TYPE repro_gauge gauge")
     for name in sorted(gauges):
-        lines.append(f'repro_gauge{{name="{_escape_label(name)}"}} '
+        lines.append(f'repro_gauge{{{_name_labels(name)}}} '
                      f"{_fmt(gauges[name])}")
 
     histograms = metrics.histograms()
@@ -96,7 +130,7 @@ def render_prometheus(metrics: MetricsRegistry,
         for name, summary in histograms.items():
             lines.append(
                 f'repro_histogram_{family}'
-                f'{{name="{_escape_label(name)}"}} '
+                f'{{{_name_labels(name)}}} '
                 f"{_fmt(summary[key])}")
 
     windows = metrics.windows()
@@ -107,7 +141,7 @@ def render_prometheus(metrics: MetricsRegistry,
         for name, summary in windows.items():
             lines.append(
                 f'repro_window_{family}'
-                f'{{name="{_escape_label(name)}"}} '
+                f'{{{_name_labels(name)}}} '
                 f"{_fmt(summary[key])}")
     lines.append("# TYPE repro_window summary")
     for name, summary in windows.items():
@@ -116,7 +150,7 @@ def render_prometheus(metrics: MetricsRegistry,
             if value is None:
                 continue
             lines.append(
-                f'repro_window{{name="{_escape_label(name)}",'
+                f'repro_window{{{_name_labels(name)},'
                 f'quantile="{quantile}"}} {_fmt(value)}')
     return "\n".join(lines) + "\n"
 
@@ -169,6 +203,9 @@ def parse_prometheus(text: str) -> dict:
         name = labels.get("name")
         if name is None:
             continue
+        shard = labels.get("shard")
+        if shard is not None:
+            name = f"shard.{shard}.{name}"
         try:
             value = float(line[close + 1:].strip())
         except ValueError:

@@ -15,11 +15,22 @@ line followed by a flush: appends of that size are atomic on POSIX,
 so a crash mid-run can truncate at most the line being written, never
 previously journalled history.  Reads tolerate a trailing partial
 line for journals written by foreign appenders.
+
+The journal is also **fork-safe**: a child process inheriting an open
+journal must not share the parent's buffered text handle (interleaved
+or duplicated lines) nor its possibly-held lock (deadlock).  Every
+entry point checks the owning PID and, after a fork, re-initializes
+the lock and *abandons* the inherited handle without flushing it — any
+partial line sitting in the inherited buffer belongs to the parent,
+which will write it itself.  The child then lazily opens its own
+append handle, whose single-``write()`` lines interleave safely with
+the parent's at the file-descriptor level.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from pathlib import Path
 from typing import IO
@@ -56,8 +67,42 @@ class WorkloadJournal:
         self._handle: IO[str] | None = None
         self._lock = threading.Lock()
         #: how many times the backing file has been opened — a serving
-        #: session appending N records must report ``opens == 1``.
+        #: session appending N records must report ``opens == 1``
+        #: (per process: a forked child reopens once for itself).
         self.opens = 0
+        #: PID that owns ``_handle`` and ``_lock``; a mismatch means
+        #: this journal object crossed a fork.
+        self._pid = os.getpid()
+
+    def _check_fork(self) -> None:
+        """Re-initialize inherited state after a fork.
+
+        Called *before* taking the lock: the inherited lock may be
+        stuck-held by a parent thread that no longer exists in this
+        process.  Right after ``fork`` the child is single-threaded,
+        so replacing the lock first — and swapping the handle under
+        the fresh, uncontended replacement — is race-free.  The
+        inherited handle
+        is dropped via ``os.close`` on its descriptor — never flushed:
+        a partial line in its buffer is the parent's in-flight write,
+        and flushing it here would duplicate bytes into the file.
+        """
+        if self._pid == os.getpid():
+            return
+        self._lock = threading.Lock()
+        with self._lock:
+            stale = self._handle
+            self._handle = None
+        self._pid = os.getpid()
+        if stale is not None and not stale.closed:
+            try:
+                os.close(stale.fileno())
+            except (OSError, ValueError):
+                pass
+            try:
+                stale.close()  # marks the wrapper closed; the write of
+            except (OSError, ValueError):  # its buffer fails on the
+                pass  # already-closed descriptor and is discarded
 
     def __len__(self) -> int:
         return len(self.records())
@@ -84,6 +129,7 @@ class WorkloadJournal:
         whole lines, never tear them.
         """
         line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        self._check_fork()
         with self._lock:
             handle = self._file()
             handle.write(line)
@@ -91,6 +137,7 @@ class WorkloadJournal:
 
     def close(self) -> None:
         """Close the persistent handle (reopened lazily if needed)."""
+        self._check_fork()
         with self._lock:
             if self._handle is not None and not self._handle.closed:
                 self._handle.close()

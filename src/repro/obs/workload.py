@@ -26,6 +26,7 @@ load plus an ``is None`` test.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -150,6 +151,15 @@ class WorkloadRecorder:
         #: records appended by this recorder instance (for tests/CLI).
         self.records_written = 0
         self._count_lock = threading.Lock()
+        self._pid = os.getpid()
+
+    def _check_fork(self) -> None:
+        """Fork safety: a child inheriting this recorder must not use
+        the parent's (possibly held) count lock; the journal performs
+        its own PID check and reopens its handle in the child."""
+        if self._pid != os.getpid():
+            self._count_lock = threading.Lock()
+            self._pid = os.getpid()
 
     @contextmanager
     def capture(self, query_text: str, ast, repository, telemetry):
@@ -181,6 +191,7 @@ class WorkloadRecorder:
         )
         self._bump_metrics(metrics, record)
         self.journal.append(record.to_dict())
+        self._check_fork()
         with self._count_lock:
             self.records_written += 1
 

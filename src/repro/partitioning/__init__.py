@@ -9,7 +9,9 @@ the most suitable compression algorithm.  This package implements:
 * :mod:`repro.partitioning.workload` — predicates and the E/I/D
   comparison-count matrices;
 * :mod:`repro.partitioning.cost` — the §3.2 cost function;
-* :mod:`repro.partitioning.search` — the §3.3 greedy strategy.
+* :mod:`repro.partitioning.search` — the §3.3 greedy strategy;
+* :mod:`repro.partitioning.sharding` — structure-summary subtree
+  placement for the sharded serving plane.
 """
 
 from repro.partitioning.config import (
@@ -18,6 +20,11 @@ from repro.partitioning.config import (
 )
 from repro.partitioning.cost import ContainerProfile, CostModel
 from repro.partitioning.search import greedy_search
+from repro.partitioning.sharding import (
+    ShardAssignment,
+    assign_shards,
+    subtree_key,
+)
 from repro.partitioning.similarity import similarity_matrix
 from repro.partitioning.workload import Predicate, Workload
 
@@ -27,7 +34,10 @@ __all__ = [
     "ContainerProfile",
     "CostModel",
     "Predicate",
+    "ShardAssignment",
     "Workload",
+    "assign_shards",
     "greedy_search",
     "similarity_matrix",
+    "subtree_key",
 ]

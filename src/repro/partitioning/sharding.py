@@ -1,0 +1,243 @@
+"""Shard assignment by structure-summary subtree (path partitioning).
+
+The follow-up work in PAPERS.md ("Path Summaries and Path Partitioning
+in Modern XML Databases") splits storage by structure-summary subtree;
+this module is that playbook applied to the serving plane: the
+containers under one summary subtree (``/site/people``,
+``/site/open_auctions``, ...) form the unit of placement, and the
+subtrees are packed onto ``N`` shards so each worker process serves a
+balanced slice of the document and warms its caches for *its* slice
+only.
+
+The scoring reuses the §3.2 partitioning machinery: each subtree's
+weight is the :class:`~repro.partitioning.cost.CostModel` storage
+estimate of its containers (entropy-driven, the same quantity the
+compression search minimizes), optionally boosted by workload access
+counts.  Placement is greedy longest-processing-time bin packing with
+a join-affinity tie-break: subtrees that the workload joins across
+prefer to land on one shard, so value joins stay shard-local where the
+balance budget allows.
+
+Every query remains answerable by every worker (each holds the whole
+repository — XQuery joins reach across subtrees); the assignment
+drives *routing*, cache locality and the cross-shard accounting, not
+reachability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+from repro.partitioning.config import CompressionConfiguration
+from repro.partitioning.cost import ContainerProfile, CostModel
+from repro.partitioning.workload import Workload
+
+#: shards within this factor of the lightest one are eligible for the
+#: join-affinity tie-break (balance gives way to co-location by ≤25%).
+AFFINITY_SLACK = 1.25
+
+
+def subtree_key(container_path: str) -> str:
+    """The structure-summary subtree a container path belongs to.
+
+    The first two element steps — ``/site/people/person/name/#text``
+    partitions under ``/site/people``.  Documents shallower than two
+    steps fall back to the first step (or ``/``).
+    """
+    parts = [p for p in container_path.strip("/").split("/") if p]
+    if not parts:
+        return "/"
+    return "/" + "/".join(parts[:2])
+
+
+class ShardAssignment:
+    """The result of :func:`assign_shards`: subtree -> shard placement."""
+
+    def __init__(self, shard_count: int,
+                 subtrees_by_shard: list[list[str]],
+                 weights: list[float]):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, "
+                             f"got {shard_count}")
+        self.shard_count = shard_count
+        self.subtrees_by_shard = [sorted(group)
+                                  for group in subtrees_by_shard]
+        self.weights = list(weights)
+        self._shard_of: dict[str, int] = {}
+        for shard, group in enumerate(self.subtrees_by_shard):
+            for key in group:
+                self._shard_of[key] = shard
+
+    def shard_of_subtree(self, key: str) -> int:
+        """Owning shard of a subtree; unknown subtrees hash stably."""
+        shard = self._shard_of.get(key)
+        if shard is not None:
+            return shard
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self.shard_count
+
+    def shard_of_path(self, container_path: str) -> int:
+        """Owning shard of one container path."""
+        return self.shard_of_subtree(subtree_key(container_path))
+
+    def shards_of_paths(self, container_paths) -> set[int]:
+        """Every shard the given container paths touch."""
+        return {self.shard_of_path(path) for path in container_paths}
+
+    def route(self, container_paths,
+              fallback_key: str = "") -> tuple[int, bool]:
+        """(primary shard, crosses shard boundaries?) for a query.
+
+        The primary is the shard owning the majority of the touched
+        subtrees (ties to the lowest shard id, so routing is
+        deterministic); a query touching no known container hashes its
+        ``fallback_key`` so textual re-runs keep hitting one warm
+        worker.
+        """
+        shards = sorted(self.shards_of_paths(container_paths))
+        if not shards:
+            digest = hashlib.sha256(
+                fallback_key.encode("utf-8")).digest()
+            return (int.from_bytes(digest[:4], "big")
+                    % self.shard_count, False)
+        counts: dict[int, int] = {}
+        for path in container_paths:
+            shard = self.shard_of_path(path)
+            counts[shard] = counts.get(shard, 0) + 1
+        primary = max(sorted(counts), key=lambda s: counts[s])
+        return primary, len(counts) > 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready description (CLI/telemetry surface)."""
+        return {
+            "shard_count": self.shard_count,
+            "shards": [
+                {"shard": i, "weight": round(self.weights[i], 2),
+                 "subtrees": list(self.subtrees_by_shard[i])}
+                for i in range(self.shard_count)
+            ],
+        }
+
+    def __repr__(self) -> str:
+        sizes = [len(group) for group in self.subtrees_by_shard]
+        return f"<ShardAssignment {self.shard_count} shards {sizes}>"
+
+
+def subtree_weights(profiles: Sequence[ContainerProfile],
+                    workload: Workload | None = None
+                    ) -> dict[str, float]:
+    """Per-subtree placement weight from the §3.2 storage estimate.
+
+    Each subtree is scored as the cost model's storage estimate of its
+    containers compressed alone (``storage_cost`` over a singleton
+    configuration — entropy-driven bytes plus parent pointers).  When
+    a workload is given, each predicate adds its touched containers'
+    record mass again: a hot subtree weighs more than a cold one of
+    equal size, so the packing balances *load*, not just bytes.
+    """
+    by_subtree: dict[str, list[ContainerProfile]] = {}
+    for profile in profiles:
+        by_subtree.setdefault(subtree_key(profile.path),
+                              []).append(profile)
+    touches: dict[str, int] = {}
+    if workload is not None:
+        for predicate in workload:
+            for path in predicate.paths():
+                touches[path] = touches.get(path, 0) + 1
+    weights: dict[str, float] = {}
+    for key, members in by_subtree.items():
+        model = CostModel(members, Workload())
+        configuration = CompressionConfiguration.singletons(
+            [p.path for p in members], "huffman")
+        weight = model.storage_cost(configuration)
+        for profile in members:
+            hits = touches.get(profile.path, 0)
+            if hits:
+                weight += hits * max(profile.total_chars, 1.0)
+        weights[key] = weight
+    return weights
+
+
+def _join_affinity(workload: Workload | None) -> dict[str, set[str]]:
+    """subtree -> subtrees the workload joins it with."""
+    affinity: dict[str, set[str]] = {}
+    if workload is None:
+        return affinity
+    for predicate in workload:
+        if predicate.right_path is None:
+            continue
+        left = subtree_key(predicate.left_path)
+        right = subtree_key(predicate.right_path)
+        if left == right:
+            continue
+        affinity.setdefault(left, set()).add(right)
+        affinity.setdefault(right, set()).add(left)
+    return affinity
+
+
+def assign_subtrees(weights: dict[str, float], shard_count: int,
+                    affinity: dict[str, set[str]] | None = None
+                    ) -> ShardAssignment:
+    """Pack weighted subtrees onto shards (greedy LPT + affinity).
+
+    Subtrees are placed heaviest-first onto the currently lightest
+    shard; when a shard already holding a join partner is within
+    :data:`AFFINITY_SLACK` of the lightest, the partner shard wins —
+    co-locating joined subtrees at a bounded balance cost.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    affinity = affinity or {}
+    groups: list[list[str]] = [[] for _ in range(shard_count)]
+    loads = [0.0] * shard_count
+    placed: dict[str, int] = {}
+    order = sorted(weights, key=lambda key: (-weights[key], key))
+    for key in order:
+        lightest = min(range(shard_count), key=lambda s: (loads[s], s))
+        target = lightest
+        partners = {placed[p] for p in affinity.get(key, ())
+                    if p in placed}
+        if partners:
+            budget = max(loads[lightest], 1e-9) * AFFINITY_SLACK
+            eligible = [s for s in sorted(partners)
+                        if loads[s] <= budget]
+            if eligible:
+                target = min(eligible, key=lambda s: (loads[s], s))
+        groups[target].append(key)
+        loads[target] += weights[key]
+        placed[key] = target
+    return ShardAssignment(shard_count, groups, loads)
+
+
+def profiles_from_repository(repository) -> list[ContainerProfile]:
+    """One :class:`ContainerProfile` per container (decompressing
+    once — done at serve start, not per query)."""
+    profiles = []
+    for container in repository.containers():
+        values = [value for _, value in container.scan_decoded()]
+        profiles.append(ContainerProfile.from_values(container.path,
+                                                     values))
+    return profiles
+
+
+def assign_shards(repository, shard_count: int,
+                  queries: Sequence[str] = (),
+                  workload: Workload | None = None) -> ShardAssignment:
+    """Choose the shard placement for one repository.
+
+    ``queries`` (XQuery texts) are folded into a workload via the §3.2
+    extractor when no explicit ``workload`` is given, so the same
+    observations that tune compression also drive placement.
+    """
+    if workload is None and queries:
+        from repro.core.system import extract_workload
+        workload = extract_workload(list(queries), repository)
+    profiles = profiles_from_repository(repository)
+    weights = subtree_weights(profiles, workload)
+    if not weights:
+        return ShardAssignment(shard_count,
+                               [[] for _ in range(shard_count)],
+                               [0.0] * shard_count)
+    return assign_subtrees(weights, shard_count,
+                           _join_affinity(workload))

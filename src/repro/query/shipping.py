@@ -11,6 +11,20 @@ plus one serialized source model per distinct codec; nodes are
 materialized (they must be serialized as XML anyway) and atomics go as
 text.  :func:`receive` unpacks on the other side, decoding with the
 shipped models.
+
+On top of the item payload, :func:`ship_result` / :func:`receive_result`
+add the **result-set frame** the sharded serving plane moves between
+worker and coordinator processes: a magic/version header, the run's
+:class:`~repro.query.context.EvaluationStats` counters, and the item
+payload — so a gathered result still knows how it was computed, and
+the coordinator can account bytes-on-the-wire against what plain
+(decompressed) shipping would have cost.
+
+Error contract: a payload that does not decode — truncated stream,
+unknown codec id, garbage code bits, trailing junk — raises
+:class:`~repro.errors.CorruptDataError`, never a low-level
+``struct.error``/``KeyError``, and never returns a partially
+materialized result.
 """
 
 from __future__ import annotations
@@ -19,9 +33,14 @@ from repro.compression.serialization import (
     deserialize_codec,
     serialize_codec,
 )
-from repro.errors import CorruptDataError
+from repro.errors import CorruptDataError, XQueCError
 from repro.compression.base import CompressedValue
-from repro.query.context import CompressedItem, EvaluationStats, NodeItem
+from repro.query.context import (
+    CompressedItem,
+    EvaluationStats,
+    NodeItem,
+    _format_number,
+)
 from repro.util.bytestream import ByteReader, ByteWriter
 from repro.xmlio.dom import Element
 from repro.xmlio.writer import serialize
@@ -31,6 +50,10 @@ _KIND_TEXT = 1
 _KIND_XML = 2
 _KIND_NUMBER = 3
 _KIND_BOOLEAN = 4
+
+#: result-set frame header (:func:`ship_result`).
+FRAME_MAGIC = b"XQRS"
+FRAME_VERSION = 1
 
 
 def ship(result) -> bytes:
@@ -81,26 +104,190 @@ def ship(result) -> bytes:
 
 
 def receive(payload: bytes) -> list:
-    """Unpack a shipped result into plain values/XML strings."""
-    reader = ByteReader(payload)
-    codecs = [deserialize_codec(reader.raw())
-              for _ in range(reader.varint())]
-    out: list = []
-    for _ in range(reader.varint()):
-        kind = reader.byte()
-        if kind == _KIND_COMPRESSED:
-            codec = codecs[reader.varint()]
-            bits = reader.varint()
-            data = reader.exact((bits + 7) // 8)
-            out.append(codec.decode(CompressedValue(data, bits)))
-        elif kind == _KIND_TEXT:
-            out.append(reader.string())
-        elif kind == _KIND_XML:
-            out.append(reader.string())
-        elif kind == _KIND_NUMBER:
-            out.append(reader.float64())
-        elif kind == _KIND_BOOLEAN:
-            out.append(reader.byte() == 1)
-        else:
-            raise CorruptDataError(f"unknown shipped item kind {kind}")
+    """Unpack a shipped result into plain values/XML strings.
+
+    Raises :class:`~repro.errors.CorruptDataError` on any malformed
+    payload — truncated stream, out-of-range codec reference, code
+    bits the shipped model cannot decode, trailing bytes — and never
+    returns a partially decoded list: either every item materializes
+    or nothing does.
+    """
+    out, _ = _receive_accounted(ByteReader(payload))
     return out
+
+
+class ReceivedResultSet:
+    """A gathered result-set frame, decoded on the coordinator side.
+
+    ``values`` mirror what :meth:`QueryResult.values
+    <repro.query.engine.QueryResult.values>` returns on the worker
+    (decoded strings, XML strings, floats, bools); ``stats`` carries
+    the worker run's evaluation counters across the process boundary.
+
+    The byte accounting quantifies the paper's network claim per
+    result: ``wire_bytes`` is what actually crossed the pipe (values
+    still compressed), ``plain_bytes`` what shipping the decompressed
+    text would have cost.
+    """
+
+    __slots__ = ("values", "stats", "wire_bytes", "plain_bytes",
+                 "compressed_value_bytes")
+
+    def __init__(self, values: list, stats: EvaluationStats,
+                 wire_bytes: int, plain_bytes: int,
+                 compressed_value_bytes: int):
+        self.values = values
+        self.stats = stats
+        self.wire_bytes = wire_bytes
+        self.plain_bytes = plain_bytes
+        self.compressed_value_bytes = compressed_value_bytes
+
+    @property
+    def compression_ratio(self) -> float | None:
+        """``wire_bytes / plain_bytes`` (< 1 means bandwidth spared)."""
+        if self.plain_bytes <= 0:
+            return None
+        return self.wire_bytes / self.plain_bytes
+
+    def to_xml(self) -> str:
+        """Serialize exactly like :meth:`QueryResult.to_xml` — the
+        parity contract the sharded oracle tests pin."""
+        parts = []
+        for value in self.values:
+            if isinstance(value, float):
+                parts.append(_format_number(value))
+            else:
+                parts.append(str(value))
+        return "\n".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __repr__(self) -> str:
+        return (f"<ReceivedResultSet {len(self.values)} items, "
+                f"{self.wire_bytes}B wire / {self.plain_bytes}B plain>")
+
+
+def ship_result(result) -> bytes:
+    """Frame a :class:`~repro.query.engine.QueryResult` for transport.
+
+    Layout: ``XQRS`` magic, version byte, the evaluation-stats counter
+    section, then the length-prefixed :func:`ship` item payload.
+    Unpack with :func:`receive_result`.
+    """
+    writer = ByteWriter()
+    writer.exact(FRAME_MAGIC)
+    writer.byte(FRAME_VERSION)
+    counters = result.stats.as_dict()
+    writer.varint(len(counters))
+    for name in sorted(counters):
+        writer.string(name)
+        writer.varint(max(int(counters[name]), 0))
+    writer.raw(ship(result))
+    return writer.getvalue()
+
+
+def receive_result(frame: bytes) -> ReceivedResultSet:
+    """Unpack a :func:`ship_result` frame (stats + items + accounting).
+
+    Same error contract as :func:`receive`: anything malformed raises
+    :class:`~repro.errors.CorruptDataError` without partially
+    materializing the result.
+    """
+    reader = ByteReader(frame)
+    try:
+        if reader.exact(len(FRAME_MAGIC)) != FRAME_MAGIC:
+            raise CorruptDataError(
+                "not a shipped result-set frame (bad magic)")
+        version = reader.byte()
+        if version != FRAME_VERSION:
+            raise CorruptDataError(
+                f"unsupported result-set frame version {version}")
+        counters = {}
+        for _ in range(reader.varint()):
+            name = reader.string()
+            counters[name] = reader.varint()
+        payload = ByteReader(reader.raw())
+    except XQueCError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - normalize to the contract
+        raise CorruptDataError(
+            f"malformed result-set frame: {exc}") from exc
+    if not reader.exhausted:
+        raise CorruptDataError(
+            "trailing bytes after shipped result-set frame")
+    values, accounting = _receive_accounted(payload)
+    known = {name: counters.get(name, 0)
+             for name in EvaluationStats.FIELDS}
+    return ReceivedResultSet(
+        values, EvaluationStats(**known),
+        wire_bytes=len(frame),
+        plain_bytes=accounting["plain_bytes"],
+        compressed_value_bytes=accounting["compressed_value_bytes"])
+
+
+def _receive_accounted(reader: ByteReader) -> tuple[list, dict]:
+    """Decode one item payload; returns (values, byte accounting).
+
+    All decoding happens into a local list that is returned only once
+    the payload is fully consumed and validated — a corrupt tail can
+    never hand the caller a partial result.  Low-level decode failures
+    (``struct.error`` from a codec, ``KeyError`` from a code table,
+    ``IndexError``/``UnicodeDecodeError`` from torn bytes) are
+    normalized to :class:`~repro.errors.CorruptDataError`.
+    """
+    out: list = []
+    compressed_value_bytes = 0
+    plain_bytes = 0
+    try:
+        codecs = [deserialize_codec(reader.raw())
+                  for _ in range(reader.varint())]
+        for _ in range(reader.varint()):
+            kind = reader.byte()
+            if kind == _KIND_COMPRESSED:
+                index = reader.varint()
+                if index >= len(codecs):
+                    raise CorruptDataError(
+                        f"shipped item references codec {index} but "
+                        f"only {len(codecs)} models were shipped")
+                codec = codecs[index]
+                bits = reader.varint()
+                data = reader.exact((bits + 7) // 8)
+                compressed_value_bytes += len(data)
+                value = codec.decode(CompressedValue(data, bits))
+                plain_bytes += len(value.encode("utf-8"))
+                out.append(value)
+            elif kind == _KIND_TEXT:
+                value = reader.string()
+                plain_bytes += len(value.encode("utf-8"))
+                out.append(value)
+            elif kind == _KIND_XML:
+                value = reader.string()
+                plain_bytes += len(value.encode("utf-8"))
+                out.append(value)
+            elif kind == _KIND_NUMBER:
+                number = reader.float64()
+                plain_bytes += len(_format_number(number))
+                out.append(number)
+            elif kind == _KIND_BOOLEAN:
+                flag = reader.byte()
+                if flag not in (0, 1):
+                    raise CorruptDataError(
+                        f"shipped boolean must be 0/1, got {flag}")
+                plain_bytes += 4 if flag else 5
+                out.append(flag == 1)
+            else:
+                raise CorruptDataError(
+                    f"unknown shipped item kind {kind}")
+    except XQueCError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - normalize to the contract
+        raise CorruptDataError(
+            f"shipped payload does not decode: {exc}") from exc
+    if not reader.exhausted:
+        raise CorruptDataError("trailing bytes after shipped items")
+    return out, {"compressed_value_bytes": compressed_value_bytes,
+                 "plain_bytes": plain_bytes}

@@ -398,9 +398,17 @@ class Session:
 
     def invalidate_caches(self) -> None:
         """Explicitly flush both caches (e.g. after swapping the
-        repository a Database serves)."""
+        repository a Database serves).
+
+        Also drops every container's memoized ``as_arrays`` view: the
+        block cache charged those views to its byte budget, so
+        flushing the cache without dropping the memos would leave the
+        arrays resident (and the next batch-mode access would
+        resurrect them from the stale memo instead of rebuilding and
+        re-charging them)."""
         self.plan_cache.invalidate()
         self.block_cache.invalidate()
+        _drop_array_views(self.repository, self.collection)
 
     def close(self) -> None:
         """Release session resources (the recorder's journal handle)."""
@@ -416,6 +424,14 @@ class Session:
     def __repr__(self) -> str:
         return (f"<Session over {self.repository!r} "
                 f"plan={self.plan_cache!r} block={self.block_cache!r}>")
+
+
+def _drop_array_views(repository, collection) -> None:
+    """Drop memoized container array views on a repository (and the
+    collection documents served next to it)."""
+    repository.drop_array_views()
+    for other in (collection or {}).values():
+        other.drop_array_views()
 
 
 class Database:
@@ -485,6 +501,19 @@ class Database:
         kwargs.setdefault("batch_size", self.batch_size)
         return Session(self.repository,
                        self.collection or None, **kwargs)
+
+    def invalidate_caches(self) -> None:
+        """Flush the shared plan and block caches *and* the per-
+        container array memos they charged to their budget.
+
+        Every session spawned by :meth:`session` shares these caches,
+        so one call invalidates them for the whole database; the
+        array-view memos live on the containers themselves and must be
+        dropped here too or they survive eviction (see
+        ``Session.invalidate_caches``)."""
+        self.plan_cache.invalidate()
+        self.block_cache.invalidate()
+        _drop_array_views(self.repository, self.collection)
 
     # -- telemetry plane -----------------------------------------------------
 

@@ -1,0 +1,139 @@
+"""Sharded-serving smoke run (the CI ``shard-serving-smoke`` job).
+
+Boots the sharded serving plane the way an operator would and walks
+the whole chain:
+
+1. load a small XMark document, compute the subtree shard placement
+   and fork 2 worker processes;
+2. drive a bounded load-generator run (every XMark query, a few
+   rounds, concurrent clients) through the coordinator;
+3. assert the run completed cleanly: zero errors, nonzero completed
+   queries, **nonzero cross-shard queries** (the XMark joins must
+   span the placement), shipped-byte accounting recorded, and a
+   trajectory point written;
+4. scrape the folded per-shard counters off the coordinator's
+   registry and assert every worker reported executions;
+5. shut down via SIGTERM and assert both workers exited (exitcode
+   ``0`` or ``-SIGTERM``) with **no orphan processes** left.
+
+Any broken link fails the job with a named FAIL line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.shard_smoke",
+        description="end-to-end smoke of the sharded serving plane: "
+                    "placement, workers, loadgen, shutdown")
+    parser.add_argument("--factor", type=float, default=0.002,
+                        help="XMark scale factor (default 0.002)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--trajectory", default=None,
+                        help="trajectory JSON path (default: a "
+                             "temporary file; CI archives it)")
+    args = parser.parse_args(argv)
+
+    from repro.bench.loadgen import run_loadgen
+    from repro.bench.trajectory import load_trajectory
+    from repro.service.shards import ShardedDatabase
+    from repro.storage.loader import load_document
+    from repro.xmark.generator import generate_xmark
+    from repro.xmark.queries import XMARK_QUERIES, query_text
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"{'ok' if ok else 'FAIL'}: {what}", file=out)
+        if not ok:
+            failures.append(what)
+
+    trajectory = Path(args.trajectory) if args.trajectory else \
+        Path(tempfile.mkdtemp(prefix="shard-smoke-")) \
+        / "BENCH_trajectory.json"
+
+    texts = [query_text(qid) for qid in XMARK_QUERIES]
+    repository = load_document(generate_xmark(factor=args.factor,
+                                              seed=args.seed))
+    database = ShardedDatabase(repository, shard_count=args.shards,
+                               queries=texts)
+    check(database.assignment.shard_count == args.shards,
+          f"placement chose {args.shards} shards")
+    check(all(database.assignment.subtrees_by_shard),
+          "every shard owns at least one subtree")
+
+    database.start()
+    pids = [worker.process.pid for worker in database._workers]
+    check(len(pids) == args.shards and all(pids),
+          f"{args.shards} worker processes forked: {pids}")
+    check(database.ready(), "coordinator is ready (all workers ping)")
+
+    report = run_loadgen(database, texts, rounds=args.rounds,
+                         clients=args.clients,
+                         experiment="shard-serving-smoke",
+                         trajectory_path=trajectory)
+    expected = len(texts) * args.rounds
+    check(report.completed == expected and report.errors == 0,
+          f"loadgen completed {report.completed}/{expected} "
+          f"queries with 0 errors")
+    check(report.cross_shard_queries > 0,
+          f"cross-shard queries observed "
+          f"({report.cross_shard_queries})")
+    check(report.wire_bytes > 0 and report.plain_bytes > 0,
+          f"shipped-byte accounting recorded "
+          f"({report.wire_bytes}B wire / {report.plain_bytes}B "
+          f"plain)")
+    check(report.p99_ms >= report.p50_ms > 0,
+          f"latency percentiles sane "
+          f"(p50 {report.p50_ms:.2f}ms, p99 {report.p99_ms:.2f}ms)")
+    check(report.qps > 0, f"sustained {report.qps:.1f} QPS")
+
+    database.gather_metrics()
+    counters = database.metrics.counters()
+    per_shard = [counters.get(f"shard.{i}.session.executions", 0)
+                 for i in range(args.shards)]
+    check(all(count > 0 for count in per_shard),
+          f"every worker executed queries {per_shard}")
+
+    points = load_trajectory(trajectory)
+    check(len(points) == 1 and points[0].get("rolling", {})
+          .get("qps") is not None,
+          f"trajectory point written to {trajectory}")
+
+    # SIGTERM-path shutdown: skip the polite pipe op and signal the
+    # workers directly, the way a process supervisor stops the plane.
+    for worker in database._workers:
+        worker.process.terminate()
+    for worker in database._workers:
+        worker.process.join(15.0)
+    exit_codes = [worker.process.exitcode
+                  for worker in database._workers]
+    check(all(code in (0, -signal.SIGTERM) for code in exit_codes),
+          f"workers exited cleanly on SIGTERM {exit_codes}")
+    orphans = [worker.process.pid for worker in database._workers
+               if worker.process.is_alive()]
+    check(not orphans, f"no orphan workers remain {orphans or ''}")
+    database._workers = []
+    database.close()
+
+    print(json.dumps(report.to_dict(), indent=1), file=out)
+    if failures:
+        print(f"{len(failures)} shard smoke failure(s)", file=out)
+        return 1
+    print("shard serving smoke OK", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

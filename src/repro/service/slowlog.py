@@ -30,6 +30,7 @@ decision), :meth:`maybe_record` after it (threshold check + append).
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from datetime import datetime, timezone
 from pathlib import Path
@@ -126,6 +127,7 @@ class SlowQueryLog:
         self._recent: list[dict] = []
         self._seq = 0
         self._lock = threading.Lock()
+        self._pid = os.getpid()
         if metrics is not None:
             metrics.set_gauge("slowlog.threshold_ms", threshold_ms)
             metrics.set_gauge("slowlog.exemplar_rate", exemplar_rate)
@@ -135,6 +137,15 @@ class SlowQueryLog:
         """The backing JSONL file (``None`` for in-memory only)."""
         return self.journal.path if self.journal is not None else None
 
+    def _check_fork(self) -> None:
+        """Fork safety: a forked worker inheriting the shared slow log
+        must not block on the parent's (possibly held) ring lock.  The
+        backing journal runs its own PID check, reopening the JSONL
+        handle in the child so lines never interleave mid-record."""
+        if self._pid != os.getpid():
+            self._lock = threading.Lock()
+            self._pid = os.getpid()
+
     def maybe_sample(self) -> Telemetry | None:
         """The pre-run 1-in-N decision: an enabled telemetry, or None.
 
@@ -143,6 +154,7 @@ class SlowQueryLog:
         turns out slow, its span breakdown is available as the
         exemplar.  The other runs pay nothing.
         """
+        self._check_fork()
         with self._lock:
             seq = self._seq
             self._seq += 1
@@ -184,6 +196,7 @@ class SlowQueryLog:
         }
         if self.journal is not None:
             self.journal.append(record)
+        self._check_fork()
         with self._lock:
             self._recent.append(record)
             if len(self._recent) > self.keep:
@@ -196,6 +209,7 @@ class SlowQueryLog:
 
     def recent(self, n: int | None = None) -> list[dict]:
         """The latest records, newest last (up to ``n``)."""
+        self._check_fork()
         with self._lock:
             records = list(self._recent)
         return records[-n:] if n is not None else records

@@ -330,6 +330,19 @@ class ValueContainer:
                                                self._codec)
         return self._arrays
 
+    def drop_arrays(self) -> None:
+        """Release the memoized :meth:`as_arrays` view.
+
+        The serving layer charges the view's bytes to its block cache;
+        a cache invalidation that evicted the charged entry must drop
+        this memo too, or the "freed" arrays stay resident here and the
+        next :meth:`as_arrays` resurrects them outside any budget
+        (the staleness bug pinned by
+        ``tests/storage/test_array_staleness.py``).  Safe at any time:
+        records are frozen at seal, so a rebuilt view is identical.
+        """
+        self._arrays = None
+
     def interval_positions(self, low: str | None, high: str | None,
                            low_inclusive: bool = True,
                            high_inclusive: bool = True

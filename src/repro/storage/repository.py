@@ -133,6 +133,17 @@ class CompressedRepository:
         """Resolve a path against the structure summary."""
         return self.summary.resolve(steps)
 
+    def drop_array_views(self) -> None:
+        """Release every container's memoized array view.
+
+        Part of serving-layer cache invalidation: the block cache
+        charges :meth:`ValueContainer.as_arrays
+        <repro.storage.containers.ValueContainer.as_arrays>` views to
+        its byte budget, so flushing that cache must also drop the
+        memos or the bytes stay resident unaccounted."""
+        for container in self._containers.values():
+            container.drop_arrays()
+
     # -- accounting -----------------------------------------------------------
 
     def size_report(self) -> SizeReport:

@@ -80,3 +80,35 @@ class TestRoundTrip:
             render_prometheus(MetricsRegistry()))
         assert parsed == {"counters": {}, "gauges": {},
                           "histograms": {}, "windows": {}}
+
+
+class TestShardLabels:
+    """Per-shard folded names render as a shard= label, losslessly."""
+
+    def test_shard_ordinal_lifted_into_label(self):
+        registry = MetricsRegistry()
+        registry.add("shard.0.session.executions", 41)
+        registry.add("shard.12.session.executions", 7)
+        registry.set_gauge("shard.3.shard.pid", 999)
+        text = render_prometheus(registry)
+        assert ('repro_counter{name="session.executions",'
+                'shard="0"} 41') in text
+        assert ('repro_counter{name="session.executions",'
+                'shard="12"} 7') in text
+        assert 'repro_gauge{name="shard.pid",shard="3"} 999' in text
+
+    def test_parse_folds_shard_label_back(self):
+        registry = MetricsRegistry()
+        registry.add("shard.1.cache.plan.hit", 5)
+        registry.add("coordinator.queries", 2)
+        registry.observe("shard.1.span.Execute", 1.5)
+        back = parse_prometheus(render_prometheus(registry))
+        assert back["counters"]["shard.1.cache.plan.hit"] == 5
+        assert back["counters"]["coordinator.queries"] == 2
+        assert "shard.1.span.Execute" in back["histograms"]
+
+    def test_non_ordinal_shard_prefix_stays_whole(self):
+        registry = MetricsRegistry()
+        registry.add("shard.total.queries", 4)  # not an ordinal
+        text = render_prometheus(registry)
+        assert 'repro_counter{name="shard.total.queries"} 4' in text

@@ -1,0 +1,150 @@
+"""Shard assignment by structure-summary subtree."""
+
+import pytest
+
+from repro.partitioning import ShardAssignment, assign_shards, subtree_key
+from repro.partitioning.sharding import (
+    assign_subtrees,
+    profiles_from_repository,
+    subtree_weights,
+)
+from repro.partitioning.workload import Predicate, Workload
+from repro.storage.loader import load_document
+from repro.xmark.generator import generate_xmark
+from repro.xmark.queries import XMARK_QUERIES, query_text
+
+
+@pytest.fixture(scope="module")
+def repository():
+    return load_document(generate_xmark(factor=0.002, seed=1))
+
+
+class TestSubtreeKey:
+    def test_two_step_paths(self):
+        assert subtree_key(
+            "/site/people/person/name/#text") == "/site/people"
+        assert subtree_key(
+            "/site/categories/category/@id") == "/site/categories"
+
+    def test_shallow_paths(self):
+        assert subtree_key("/site") == "/site"
+        assert subtree_key("/site/people") == "/site/people"
+        assert subtree_key("/") == "/"
+
+    def test_attribute_second_step_is_kept(self):
+        # The key is purely positional: two path components.
+        assert subtree_key("/a/@id") == "/a/@id"
+
+
+class TestAssignSubtrees:
+    def test_balances_by_weight(self):
+        weights = {f"/r/s{i}": 10.0 for i in range(8)}
+        assignment = assign_subtrees(weights, 4)
+        sizes = [len(g) for g in assignment.subtrees_by_shard]
+        assert sizes == [2, 2, 2, 2]
+        assert all(w == pytest.approx(20.0)
+                   for w in assignment.weights)
+
+    def test_heaviest_first_lpt(self):
+        weights = {"/r/a": 100.0, "/r/b": 60.0, "/r/c": 40.0,
+                   "/r/d": 5.0}
+        assignment = assign_subtrees(weights, 2)
+        # LPT: a alone; b, c (and the tiny d) on the other shard.
+        shard_of = assignment.shard_of_subtree
+        assert shard_of("/r/b") == shard_of("/r/c")
+        assert shard_of("/r/a") != shard_of("/r/b")
+
+    def test_deterministic(self):
+        weights = {f"/r/s{i}": float(i % 3 + 1) for i in range(12)}
+        first = assign_subtrees(weights, 3)
+        second = assign_subtrees(dict(reversed(list(weights.items()))),
+                                 3)
+        assert first.subtrees_by_shard == second.subtrees_by_shard
+
+    def test_affinity_co_locates_joined_subtrees(self):
+        weights = {"/r/a": 50.0, "/r/b": 48.0, "/r/c": 47.0,
+                   "/r/d": 46.0}
+        affinity = {"/r/a": {"/r/d"}, "/r/d": {"/r/a"}}
+        assignment = assign_subtrees(weights, 2, affinity)
+        shard_of = assignment.shard_of_subtree
+        assert shard_of("/r/a") == shard_of("/r/d")
+
+    def test_affinity_bounded_by_slack(self):
+        # The partner shard is far heavier than the slack budget
+        # allows: balance wins, the join stays cross-shard.
+        weights = {"/r/a": 1000.0, "/r/b": 10.0, "/r/c": 9.0}
+        affinity = {"/r/c": {"/r/a"}, "/r/a": {"/r/c"}}
+        assignment = assign_subtrees(weights, 2, affinity)
+        shard_of = assignment.shard_of_subtree
+        assert shard_of("/r/c") != shard_of("/r/a")
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            assign_subtrees({"/r/a": 1.0}, 0)
+
+
+class TestShardAssignment:
+    def test_unknown_subtree_hashes_stably(self):
+        assignment = ShardAssignment(3, [["/r/a"], ["/r/b"], []],
+                                     [1.0, 1.0, 0.0])
+        first = assignment.shard_of_subtree("/r/zzz")
+        assert first == assignment.shard_of_subtree("/r/zzz")
+        assert 0 <= first < 3
+
+    def test_route_majority_and_cross(self):
+        assignment = ShardAssignment(
+            2, [["/site/people"], ["/site/open_auctions"]],
+            [1.0, 1.0])
+        shard, cross = assignment.route(
+            ["/site/people/person/name/#text",
+             "/site/people/person/@id"])
+        assert (shard, cross) == (0, False)
+        shard, cross = assignment.route(
+            ["/site/people/person/@id",
+             "/site/open_auctions/open_auction/@id"])
+        assert cross is True
+
+    def test_route_empty_uses_fallback_key(self):
+        assignment = ShardAssignment(4, [[], [], [], []],
+                                     [0.0] * 4)
+        assert assignment.route([], "Q1") \
+            == assignment.route([], "Q1")
+
+    def test_to_dict_round(self):
+        assignment = ShardAssignment(2, [["/r/a"], ["/r/b"]],
+                                     [1.5, 2.5])
+        document = assignment.to_dict()
+        assert document["shard_count"] == 2
+        assert document["shards"][1]["subtrees"] == ["/r/b"]
+
+
+class TestAssignShards:
+    def test_covers_every_container_subtree(self, repository):
+        assignment = assign_shards(repository, 3)
+        owned = {key for group in assignment.subtrees_by_shard
+                 for key in group}
+        for path in repository.container_paths():
+            assert subtree_key(path) in owned
+
+    def test_single_shard_owns_everything(self, repository):
+        assignment = assign_shards(repository, 1)
+        assert assignment.shard_count == 1
+        assert len(assignment.subtrees_by_shard[0]) >= 2
+
+    def test_workload_skews_weights(self, repository):
+        profiles = profiles_from_repository(repository)
+        cold = subtree_weights(profiles)
+        hot_path = "/site/people/person/name/#text"
+        workload = Workload()
+        for _ in range(50):
+            workload.add(Predicate("eq", hot_path))
+        hot = subtree_weights(profiles, workload)
+        assert hot["/site/people"] > cold["/site/people"]
+        assert hot["/site/regions"] == cold["/site/regions"]
+
+    def test_xmark_workload_placement_is_deterministic(self,
+                                                       repository):
+        texts = [query_text(qid) for qid in XMARK_QUERIES]
+        first = assign_shards(repository, 4, queries=texts)
+        second = assign_shards(repository, 4, queries=texts)
+        assert first.subtrees_by_shard == second.subtrees_by_shard

@@ -1,0 +1,181 @@
+"""Shipping error paths + result-set framing.
+
+The §1 network argument only holds if a shipped payload is safe to
+receive: truncated streams, out-of-range codec references and garbage
+code bits must raise :class:`CorruptDataError` — never leak a
+``struct.error``/``KeyError``/``IndexError`` — and must never hand the
+caller a partially materialized result.  Fuzzed with the PR 5
+adversarial corpus generators.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import CorruptDataError, XQueCError
+from repro.query.engine import QueryEngine
+from repro.query.shipping import (
+    FRAME_MAGIC,
+    receive,
+    receive_result,
+    ship_result,
+)
+from repro.storage.loader import load_document
+from repro.verify.documents import generate_entities, render_xml
+from repro.verify.queries import generate_queries
+
+SEED = 1234
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """(engine, queries) over a PR 5 adversarial document."""
+    rng = random.Random(SEED)
+    entities = generate_entities(rng, scale=12)
+    engine = QueryEngine(load_document(render_xml(entities)))
+    queries = generate_queries(entities, rng, 12)
+    return engine, queries
+
+
+@pytest.fixture(scope="module")
+def frames(corpus):
+    engine, queries = corpus
+    out = []
+    for query in queries:
+        result = engine.execute(query)
+        result.values()  # materialize first so stats are final
+        out.append((query, result, ship_result(result)))
+    return out
+
+
+class TestFraming:
+    def test_round_trip_values_and_xml(self, frames):
+        for query, result, frame in frames:
+            received = receive_result(frame)
+            assert received.values == result.values(), query
+            assert received.to_xml() == result.to_xml(), query
+
+    def test_round_trip_stats(self, frames):
+        for _, result, frame in frames:
+            received = receive_result(frame)
+            assert received.stats.as_dict() == result.stats.as_dict()
+
+    def test_byte_accounting(self, frames):
+        for _, result, frame in frames:
+            received = receive_result(frame)
+            assert received.wire_bytes == len(frame)
+            assert received.plain_bytes >= 0
+            if len(received.values) == 0:
+                continue
+            ratio = received.compression_ratio
+            assert ratio is None or ratio > 0
+
+    def test_bad_magic_rejected(self, frames):
+        _, _, frame = frames[0]
+        mangled = b"NOPE" + frame[len(FRAME_MAGIC):]
+        with pytest.raises(CorruptDataError):
+            receive_result(mangled)
+
+    def test_bad_version_rejected(self, frames):
+        _, _, frame = frames[0]
+        mangled = frame[:4] + bytes([250]) + frame[5:]
+        with pytest.raises(CorruptDataError):
+            receive_result(mangled)
+
+    def test_trailing_bytes_rejected(self, frames):
+        for _, _, frame in frames[:4]:
+            with pytest.raises(CorruptDataError):
+                receive_result(frame + b"\x00")
+
+
+def _assert_receive_total(payload: bytes) -> None:
+    """receive/receive_result either succeed or raise CorruptDataError.
+
+    Any other exception type is a broken error path; a successful
+    decode must be a complete list (receive never yields partials, so
+    success + list is the whole contract checkable from outside).
+    """
+    for decoder in (receive_result,):
+        try:
+            received = decoder(payload)
+        except CorruptDataError:
+            continue
+        except XQueCError as exc:  # any other library error is a bug
+            raise AssertionError(
+                f"{decoder.__name__} raised {type(exc).__name__}, "
+                f"expected CorruptDataError") from exc
+        except Exception as exc:  # noqa: BLE001
+            raise AssertionError(
+                f"{decoder.__name__} leaked {type(exc).__name__}: "
+                f"{exc}") from exc
+        assert isinstance(received.values, list)
+
+
+class TestFuzzedPayloads:
+    def test_truncations(self, frames):
+        _, _, frame = frames[0]
+        # Every cut in the header region, then sampled cuts across
+        # the body (an exhaustive sweep re-deserializes the shipped
+        # source models thousands of times for no extra coverage).
+        rng = random.Random(SEED)
+        cuts = set(range(min(24, len(frame))))
+        cuts.update(rng.randrange(len(frame)) for _ in range(48))
+        for cut in sorted(cuts):
+            truncated = frame[:cut]
+            with pytest.raises(CorruptDataError):
+                receive_result(truncated)
+
+    def test_truncated_item_payload_raises_not_struct_error(self,
+                                                            frames):
+        # Cut inside the inner ship() payload of every frame.
+        for _, _, frame in frames:
+            for cut in (len(frame) - 1, len(frame) - 3,
+                        int(len(frame) * 0.75)):
+                if cut <= 0:
+                    continue
+                with pytest.raises(CorruptDataError):
+                    receive_result(frame[:cut])
+
+    def test_random_byte_flips(self, frames):
+        rng = random.Random(SEED)
+        for _, _, frame in frames[:4]:
+            for _ in range(12):
+                mutated = bytearray(frame)
+                for _ in range(rng.randint(1, 4)):
+                    pos = rng.randrange(len(mutated))
+                    mutated[pos] ^= 1 << rng.randrange(8)
+                _assert_receive_total(bytes(mutated))
+
+    def test_random_garbage(self):
+        rng = random.Random(SEED + 1)
+        for _ in range(60):
+            garbage = bytes(rng.randrange(256)
+                            for _ in range(rng.randrange(1, 120)))
+            _assert_receive_total(garbage)
+            try:
+                receive(garbage)
+            except CorruptDataError:
+                pass
+
+    def test_unknown_codec_reference(self, corpus):
+        engine, queries = corpus
+        # Find a frame whose payload carries a compressed item, then
+        # bump its codec index out of range.
+        from repro.query.shipping import _KIND_COMPRESSED  # noqa: PLC2701
+        from repro.query.context import CompressedItem
+        for query in queries:
+            result = engine.execute(query)
+            if not any(isinstance(i, CompressedItem)
+                       for i in result._raw_items):
+                continue
+            frame = bytearray(ship_result(result))
+            # The first _KIND_COMPRESSED tag byte is followed by the
+            # codec index varint; 0x7F is out of range for any corpus
+            # result (few distinct codecs per query).
+            for pos in range(len(frame) - 1):
+                if frame[pos] == _KIND_COMPRESSED:
+                    frame[pos + 1] = 0x7F
+                    break
+            _assert_receive_total(bytes(frame))
+            return
+        pytest.skip("corpus produced no compressed items")

@@ -1,0 +1,93 @@
+"""Staleness regression: cache invalidation must drop array memos.
+
+``ValueContainer.as_arrays()`` memoizes its :class:`ContainerArrays`
+on the container itself, while the serving layer's block cache charges
+the view's bytes to its budget through ``CachedContainerView``.
+Invalidating the serving caches used to evict only the *charged cache
+entry* — the memo survived, so the bytes stayed resident unaccounted
+and the next batch access resurrected the stale view instead of
+rebuilding it.  ``invalidate_caches`` (Session and Database) now drops
+the memos too.
+"""
+
+import pytest
+
+from repro.service.blocks import CachedRepositoryView
+from repro.service.cache import BlockCache
+from repro.service.session import Database, Session
+from repro.storage.loader import load_document
+
+XML = (
+    "<site><people>"
+    + "".join(f"<person><name>n{i:03d}</name><age>{20 + i}</age>"
+              "</person>" for i in range(40))
+    + "</people></site>"
+)
+
+
+@pytest.fixture()
+def repository():
+    return load_document(XML)
+
+
+def _an_arrays_path(repository):
+    for container in repository.containers():
+        if not container.is_blob:
+            return container.path
+    raise AssertionError("no non-blob container in fixture")
+
+
+class TestContainerDropArrays:
+    def test_drop_arrays_forces_rebuild(self, repository):
+        container = repository.container(_an_arrays_path(repository))
+        first = container.as_arrays()
+        assert container.as_arrays() is first  # memoized
+        container.drop_arrays()
+        rebuilt = container.as_arrays()
+        assert rebuilt is not first
+        assert (rebuilt.parent_ids == first.parent_ids).all()
+
+    def test_repository_drop_array_views_covers_all(self, repository):
+        views = {c.path: c.as_arrays() for c in repository.containers()
+                 if not c.is_blob}
+        repository.drop_array_views()
+        for container in repository.containers():
+            if container.is_blob:
+                continue
+            assert container.as_arrays() is not views[container.path]
+
+
+class TestServingInvalidation:
+    def test_session_invalidate_drops_memoized_views(self, repository):
+        session = Session(repository)
+        path = _an_arrays_path(repository)
+        view = session._view.container(path)
+        first = view.as_arrays()
+        assert view.as_arrays() is first  # cache hit
+        session.invalidate_caches()
+        assert session.block_cache.used_bytes == 0
+        rebuilt = view.as_arrays()
+        assert rebuilt is not first  # memo gone, view rebuilt...
+        assert session.block_cache.used_bytes > 0  # ...and re-charged
+
+    def test_database_invalidate_reaches_every_session(self, repository):
+        db = Database(repository)
+        sessions = [db.session(), db.session()]
+        path = _an_arrays_path(repository)
+        views = [s._view.container(path).as_arrays() for s in sessions]
+        assert views[0] is views[1]  # one shared block cache
+        db.invalidate_caches()
+        for session in sessions:
+            rebuilt = session._view.container(path).as_arrays()
+            assert rebuilt is not views[0]
+
+    def test_rebuild_is_identical(self, repository):
+        cache = BlockCache(1 << 20)
+        view = CachedRepositoryView(repository, cache)
+        path = _an_arrays_path(repository)
+        first = view.container(path).as_arrays()
+        cache.invalidate()
+        repository.drop_array_views()
+        rebuilt = view.container(path).as_arrays()
+        assert (rebuilt.parent_ids == first.parent_ids).all()
+        assert rebuilt.count == first.count
